@@ -1,0 +1,110 @@
+//! Ablation — out-of-distribution behavior (related-work extension, §V).
+//!
+//! The paper's related work covers out-of-distribution detection as a
+//! sibling problem. PolygraphMR's disagreement signal doubles as an OOD
+//! detector for free: inputs drawn from *unseen classes* (a generator with
+//! different prototype seeds) make the diverse members disagree, so the
+//! decision engine flags them. This harness measures:
+//!
+//! * the flag rate on in-distribution test inputs (should stay low),
+//! * the flag rate on OOD inputs (higher is better — every reliable
+//!   emission on an OOD input is by construction wrong),
+//! * the same comparison for a confidence-thresholded single network,
+//! * and the [`ReliabilityMonitor`]'s drift alarm when the stream switches
+//!   from in-distribution to OOD mid-flight.
+
+use pgmr_bench::{banner, member_probs, members_for_configuration, pct, scale};
+use pgmr_datasets::Split;
+use pgmr_preprocess::Preprocessor;
+use pgmr_tensor::argmax;
+use polygraph_mr::builder::SystemBuilder;
+use polygraph_mr::evaluate::decide_all;
+use polygraph_mr::stream::{ReliabilityMonitor, StreamHealth};
+use polygraph_mr::suite::Benchmark;
+
+fn main() {
+    banner("Ablation", "out-of-distribution flagging (unseen-class generator)");
+    let bench = Benchmark::convnet_objects(scale());
+    let test = bench.data(Split::Test);
+
+    // OOD: same geometry and difficulty, different class prototypes.
+    let mut ood_cfg = bench.dataset.clone();
+    ood_cfg.seed += 7919;
+    let ood = ood_cfg.generate(Split::Test, test.len());
+
+    // PolygraphMR.
+    let built = SystemBuilder::new(&bench).max_networks(4).build(1);
+    let thresholds = built.operating_point.tag;
+    let mut members = members_for_configuration(&bench, &built.configuration, 1);
+    let in_probs = member_probs(&mut members, &test);
+    let ood_probs = member_probs(&mut members, &ood);
+    let in_verdicts = decide_all(&in_probs, thresholds);
+    let ood_verdicts = decide_all(&ood_probs, thresholds);
+    let flag_rate = |vs: &[polygraph_mr::Verdict]| {
+        vs.iter().filter(|v| !v.is_reliable()).count() as f64 / vs.len() as f64
+    };
+
+    // Confidence-threshold baseline: pick the threshold that flags the
+    // same fraction of in-distribution inputs as PGMR does (matched
+    // in-distribution budget), then compare OOD flag rates.
+    let mut org = bench.member(Preprocessor::Identity, 1);
+    let org_in = org.predict_all(test.images());
+    let org_ood = org.predict_all(ood.images());
+    let pgmr_in_flag = flag_rate(&in_verdicts);
+    let mut confs: Vec<f32> = org_in.iter().map(|p| p[argmax(p)]).collect();
+    confs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let k = ((pgmr_in_flag * confs.len() as f64) as usize).min(confs.len() - 1);
+    let matched_threshold = confs[k];
+    let baseline_ood_flag = org_ood
+        .iter()
+        .filter(|p| p[argmax(p)] < matched_threshold)
+        .count() as f64
+        / org_ood.len() as f64;
+
+    println!("{:<28} {:>10} {:>10}", "method", "in-dist", "OOD");
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "4_PGMR flag rate",
+        pct(pgmr_in_flag),
+        pct(flag_rate(&ood_verdicts))
+    );
+    println!(
+        "{:<28} {:>10} {:>10}",
+        format!("ORG conf<{matched_threshold:.2} flag rate"),
+        pct(pgmr_in_flag),
+        pct(baseline_ood_flag)
+    );
+
+    // Streaming drift alarm: 120 in-distribution frames, then OOD frames.
+    let mut monitor = ReliabilityMonitor::calibrated(40, pgmr_in_flag.max(0.02), 1.5);
+    let mut alarm_at = None;
+    for (i, v) in in_verdicts.iter().take(120).enumerate() {
+        if monitor.observe(v) == StreamHealth::Degraded {
+            alarm_at = Some(("in-dist", i));
+            break;
+        }
+    }
+    let in_dist_false_alarm = alarm_at.is_some();
+    let mut switch_alarm = None;
+    for (i, v) in ood_verdicts.iter().enumerate() {
+        if monitor.observe(v) == StreamHealth::Degraded {
+            switch_alarm = Some(i);
+            break;
+        }
+    }
+    println!();
+    println!(
+        "drift monitor: false alarm during in-distribution phase: {}",
+        if in_dist_false_alarm { "YES (!)" } else { "no" }
+    );
+    match switch_alarm {
+        Some(i) => println!("drift monitor: alarm {i} frames after the switch to OOD inputs"),
+        None => println!("drift monitor: no alarm after the OOD switch (!)"),
+    }
+    println!();
+    println!("expected shape: OOD inputs are flagged well above the in-distribution rate");
+    println!("                (for PGMR via member disagreement; a confidence threshold with");
+    println!("                the same in-distribution budget is a competitive detector on");
+    println!("                this synthetic shift), and the stream monitor alarms shortly");
+    println!("                after the distribution switches.");
+}

@@ -1,0 +1,85 @@
+//! Fig. 2 — TP and FP rates as a function of the confidence threshold.
+//!
+//! Paper: on the six ImageNet CNNs, gating answers by a confidence
+//! threshold trades TP for FP. TP curves of different CNNs fall roughly in
+//! parallel (maintaining their accuracy gaps), while FP curves of *more
+//! accurate* CNNs cross above those of less accurate ones at high
+//! thresholds — the counter-intuitive "more accurate ⇒ harder to eliminate
+//! FPs" result.
+
+use pgmr_bench::{banner, scale};
+use pgmr_datasets::Split;
+use pgmr_metrics::threshold_sweep;
+use pgmr_preprocess::Preprocessor;
+use polygraph_mr::evaluate::records_from_probs;
+use polygraph_mr::suite::Benchmark;
+
+fn main() {
+    banner("Figure 2", "TP / FP rate vs confidence threshold (ImageNet six)");
+    let thresholds: Vec<f32> = (0..=10).map(|i| i as f32 / 10.0).collect();
+    let benches = Benchmark::imagenet_six(scale());
+
+    let mut sweeps = Vec::new();
+    let mut accuracies = Vec::new();
+    for bench in &benches {
+        let mut member = bench.member(Preprocessor::Identity, 1);
+        let test = bench.data(Split::Test);
+        let probs = member.predict_all(test.images());
+        let records = records_from_probs(&probs, test.labels());
+        accuracies.push(
+            records.iter().filter(|r| r.is_correct()).count() as f64 / records.len() as f64,
+        );
+        sweeps.push(threshold_sweep(&records, &thresholds));
+    }
+
+    println!("(a) true positives [% of samples]");
+    print!("{:<14}", "threshold");
+    for t in &thresholds {
+        print!("{:>7.1}", t);
+    }
+    println!();
+    for (bench, sweep) in benches.iter().zip(&sweeps) {
+        print!("{:<14}", bench.paper_network);
+        for p in sweep {
+            print!("{:>7.1}", p.tp * 100.0);
+        }
+        println!();
+    }
+
+    println!();
+    println!("(b) false positives [% of samples]");
+    print!("{:<14}", "threshold");
+    for t in &thresholds {
+        print!("{:>7.1}", t);
+    }
+    println!();
+    for (bench, sweep) in benches.iter().zip(&sweeps) {
+        print!("{:<14}", bench.paper_network);
+        for p in sweep {
+            print!("{:>7.1}", p.fp * 100.0);
+        }
+        println!();
+    }
+
+    // Crossover observation: least-accurate vs most-accurate network.
+    let (lo_idx, _) = accuracies
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    let (hi_idx, _) = accuracies
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!();
+    println!(
+        "FP gap ({} − {}): at thr 0.0 = {:+.3}, at thr 0.8 = {:+.3}",
+        benches[hi_idx].paper_network,
+        benches[lo_idx].paper_network,
+        sweeps[hi_idx][0].fp - sweeps[lo_idx][0].fp,
+        sweeps[hi_idx][8].fp - sweeps[lo_idx][8].fp,
+    );
+    println!("paper shape: the more accurate network starts with lower FP but the gap shrinks");
+    println!("             (or flips sign) as the threshold rises.");
+}

@@ -1,0 +1,53 @@
+//! Fig. 3 — Misclassification analysis of high-confidence wrong answers.
+//!
+//! Paper (§II-C): the ≥90%-confidence mispredictions of AlexNet on
+//! ImageNet were manually inspected; the top characteristics are poor
+//! image detail (obstruction/blur), multiple objects, and class
+//! similarity. Our datasets carry ground-truth corruption tags, so the
+//! same analysis is exact counting on the AlexNet-analog benchmark.
+
+use pgmr_bench::{banner, pct, scale};
+use pgmr_datasets::Split;
+use pgmr_preprocess::Preprocessor;
+use polygraph_mr::analysis::{misclassification_breakdown, tag_enrichment};
+use polygraph_mr::evaluate::records_from_probs;
+use polygraph_mr::suite::Benchmark;
+
+fn main() {
+    banner("Figure 3", "characteristics of high-confidence mispredictions");
+    let bench = Benchmark::alexnet_scenes(scale());
+    let mut member = bench.member(Preprocessor::Identity, 1);
+    let test = bench.data(Split::Test);
+    let probs = member.predict_all(test.images());
+    let records = records_from_probs(&probs, test.labels());
+
+    let breakdown = misclassification_breakdown(&records, test.metas(), 0.9);
+    println!(
+        "benchmark {} | mispredictions with confidence >= 90%: {}",
+        bench.id, breakdown.high_confidence_errors
+    );
+    println!("{:<22} {:>7} {:>10}", "characteristic", "count", "fraction");
+    for row in &breakdown.rows {
+        println!("{:<22} {:>7} {:>10}", row.characteristic, row.count, pct(row.fraction));
+    }
+    println!("{:<22} {:>7}", "(untagged/clean)", breakdown.untagged);
+
+    println!();
+    println!("tag-level error enrichment over all test samples:");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "tag", "err w/ tag", "err clean", "enrichment"
+    );
+    for (tag, with, clean, enrich) in tag_enrichment(&records, test.metas()) {
+        println!(
+            "{:<22} {:>12} {:>12} {:>11.2}x",
+            tag.to_string(),
+            pct(with),
+            pct(clean),
+            enrich
+        );
+    }
+    println!();
+    println!("paper shape: the three characteristics dominate the high-confidence errors;");
+    println!("             corrupted samples err far more often than clean ones.");
+}

@@ -1,0 +1,86 @@
+//! Fig. 8 (and Table I) — Comparing preprocessors by confidence deltas.
+//!
+//! Paper (§III-G): for each input, *delta* = preprocessed CNN's top-1
+//! confidence − baseline's top-1 confidence, split by baseline
+//! correctness. AdHist shows more negative-delta mass than Scale 80% on
+//! baseline-mispredicted inputs (good: it disagrees with errors) and less
+//! on baseline-correct inputs (good: it preserves successes), making it
+//! the better diversity source on ConvNet.
+
+use pgmr_bench::{banner, scale};
+use pgmr_datasets::Split;
+use pgmr_preprocess::{standard_pool, Preprocessor};
+use polygraph_mr::delta::{delta_analysis, DeltaAnalysis};
+use polygraph_mr::suite::Benchmark;
+
+fn main() {
+    banner("Table I / Figure 8", "preprocessor pool and delta comparison");
+
+    println!("Table I — preprocessor pool:");
+    for p in standard_pool() {
+        println!("  {}", p.name());
+    }
+    println!();
+
+    let bench = Benchmark::convnet_objects(scale());
+    let mut baseline = bench.member(Preprocessor::Identity, 1);
+    let mut adhist = bench.member(Preprocessor::AdHist, 50);
+    let mut scale80 = bench.member(Preprocessor::Scale(80), 51);
+
+    let test = bench.data(Split::Test);
+    let base_probs = baseline.predict_all(test.images());
+    let adhist_probs = adhist.predict_all(test.images());
+    let scale_probs = scale80.predict_all(test.images());
+
+    let a = delta_analysis(&base_probs, &adhist_probs, test.labels());
+    let s = delta_analysis(&base_probs, &scale_probs, test.labels());
+
+    let print_cdf = |name: &str, analysis: &DeltaAnalysis| {
+        let xs = [-0.6f32, -0.4, -0.2, -0.05, 0.0, 0.05, 0.2, 0.4, 0.6];
+        let cdf_at = |deltas: &[f32]| -> Vec<f64> {
+            xs.iter()
+                .map(|&x| {
+                    deltas.iter().filter(|&&d| d <= x).count() as f64 / deltas.len().max(1) as f64
+                })
+                .collect()
+        };
+        println!("{name}");
+        print!("  delta<=            ");
+        for x in xs {
+            print!("{x:>7.2}");
+        }
+        println!();
+        print!("  cdf | mispredicted ");
+        for v in cdf_at(&analysis.mispredicted) {
+            print!("{:>7.2}", v);
+        }
+        println!();
+        print!("  cdf | correct      ");
+        for v in cdf_at(&analysis.correct) {
+            print!("{:>7.2}", v);
+        }
+        println!();
+    };
+
+    print_cdf("(a)+(b) AdHist vs ORG:", &a);
+    print_cdf("(a)+(b) Scale80 vs ORG:", &s);
+
+    println!();
+    println!(
+        "P(delta<0 | baseline mispredicted): AdHist {:.2}  Scale80 {:.2}",
+        a.p_negative_on_mispredicted(),
+        s.p_negative_on_mispredicted()
+    );
+    println!(
+        "P(delta<0 | baseline correct)     : AdHist {:.2}  Scale80 {:.2}",
+        a.p_negative_on_correct(),
+        s.p_negative_on_correct()
+    );
+    println!(
+        "rank score (higher = better diversity source): AdHist {:+.3}  Scale80 {:+.3}",
+        a.rank_score(),
+        s.rank_score()
+    );
+    println!();
+    println!("paper shape: AdHist ranks above Scale 80% on ConvNet.");
+}

@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks for the hot paths of the PolygraphMR stack:
+//! single-image member inference, the decision engine, staged (RADE)
+//! decisions, preprocessors, and the quantization kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgmr_precision::Precision;
+use pgmr_preprocess::Preprocessor;
+use pgmr_tensor::Tensor;
+use polygraph_mr::decision::{DecisionEngine, Thresholds};
+use polygraph_mr::rade::StagedEngine;
+use polygraph_mr::suite::{Benchmark, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_member_inference(c: &mut Criterion) {
+    let bench = Benchmark::lenet5_digits(Scale::Tiny);
+    let mut member = bench.member(Preprocessor::Identity, 1);
+    let img = bench.data(pgmr_datasets::Split::Test).images()[0].clone();
+    c.bench_function("member_inference_lenet5_16x16", |b| {
+        b.iter(|| member.predict(std::hint::black_box(&img)))
+    });
+}
+
+fn bench_decision_engine(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let probs: Vec<Vec<f32>> = (0..6)
+        .map(|_| {
+            let t = Tensor::uniform(vec![20], 0.0, 1.0, &mut rng);
+            pgmr_tensor::softmax(t.data())
+        })
+        .collect();
+    let engine = DecisionEngine::new(Thresholds::new(0.5, 4));
+    c.bench_function("decision_engine_6nets_20classes", |b| {
+        b.iter(|| engine.decide(std::hint::black_box(&probs)))
+    });
+    let staged = StagedEngine::new(vec![0, 1, 2, 3, 4, 5], Thresholds::new(0.5, 4));
+    c.bench_function("staged_engine_6nets_20classes", |b| {
+        b.iter(|| staged.decide(std::hint::black_box(&probs)))
+    });
+}
+
+fn bench_preprocessors(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let img = Tensor::uniform(vec![1, 3, 24, 24], 0.0, 1.0, &mut rng);
+    for p in [
+        Preprocessor::FlipX,
+        Preprocessor::Gamma(2.0),
+        Preprocessor::AdHist,
+        Preprocessor::ConNorm,
+        Preprocessor::Scale(80),
+    ] {
+        c.bench_function(&format!("preprocess_{}_3x24x24", p.name()), |b| {
+            b.iter(|| p.apply(std::hint::black_box(&img)))
+        });
+    }
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let t = Tensor::uniform(vec![4096], -10.0, 10.0, &mut rng);
+    let p = Precision::new(14);
+    c.bench_function("quantize_4096_values_14b", |b| {
+        b.iter(|| {
+            let mut x = t.clone();
+            p.quantize_tensor(std::hint::black_box(&mut x));
+            x
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_member_inference,
+    bench_decision_engine,
+    bench_preprocessors,
+    bench_quantization
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Developer probe: train each benchmark baseline once and print its test
+//! accuracy against the paper's Table II target. Used to tune the synthetic
+//! dataset difficulty knobs; not part of the experiment harness.
+
+use pgmr_datasets::Split;
+use pgmr_preprocess::Preprocessor;
+use polygraph_mr::suite::{Benchmark, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let only: Option<String> = std::env::args().nth(1);
+    println!("scale: {:?}", scale);
+    println!("{:<18} {:>8} {:>9} {:>8}", "benchmark", "paper", "measured", "secs");
+    for bench in Benchmark::all(scale) {
+        if let Some(f) = &only {
+            if !bench.id.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        let mut member = bench.member(Preprocessor::Identity, 1);
+        let test = bench.data(Split::Test);
+        let acc = member.accuracy(&test);
+        println!(
+            "{:<18} {:>7.2}% {:>8.2}% {:>8.1}",
+            bench.id,
+            bench.paper_accuracy * 100.0,
+            acc * 100.0,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

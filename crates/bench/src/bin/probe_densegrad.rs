@@ -1,0 +1,154 @@
+//! Developer probe: finite-difference check of DenseBlock weight gradients
+//! and a structural ablation of densenet_mini.
+
+use pgmr_datasets::{families, Split};
+use pgmr_nn::layer::Layer;
+use pgmr_nn::layers::{AvgPoolGlobal, Conv2d, Dense, DenseBlock, Flatten, MaxPool2d, Relu};
+use pgmr_nn::loss::softmax_cross_entropy;
+use pgmr_nn::train::accuracy;
+use pgmr_nn::{Network, TrainConfig, Trainer};
+use pgmr_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn weight_grad_check() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let units: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(2, 2, 4, 4, 3, 1, 1, &mut rng)),
+        Box::new(Conv2d::new(4, 2, 4, 4, 3, 1, 1, &mut rng)),
+    ];
+    let block = DenseBlock::new(units, 2, 2);
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(block),
+        Box::new(AvgPoolGlobal::new()),
+        Box::new(Dense::new(6, 3, &mut rng)),
+    ];
+    let mut net = Network::new(layers, "probe", 3);
+    let x = Tensor::uniform(vec![2, 2, 4, 4], 0.0, 1.0, &mut rng);
+    let labels = [0usize, 2];
+
+    net.zero_grads();
+    let logits = net.forward(&x, true);
+    let (_, grad) = softmax_cross_entropy(&logits, &labels);
+    net.backward(&grad);
+    let mut grads: Vec<Tensor> = Vec::new();
+    net.visit_slots(&mut |s| grads.push(s.grad.clone()));
+    let state = net.state_dict();
+
+    let eps = 1e-3;
+    let mut worst: f32 = 0.0;
+    for (pi, param) in state.iter().enumerate() {
+        for flat in (0..param.len()).step_by((param.len() / 5).max(1)) {
+            let mut sp = state.clone();
+            sp[pi].data_mut()[flat] += eps;
+            net.load_state(&sp);
+            let (fp, _) = softmax_cross_entropy(&net.forward(&x, true), &labels);
+            let mut sm = state.clone();
+            sm[pi].data_mut()[flat] -= eps;
+            net.load_state(&sm);
+            let (fm, _) = softmax_cross_entropy(&net.forward(&x, true), &labels);
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = grads[pi].data()[flat];
+            let err = (numeric - analytic).abs();
+            if err > worst {
+                worst = err;
+                if err > 1e-2 {
+                    println!("param {pi} flat {flat}: numeric {numeric} analytic {analytic}");
+                }
+            }
+        }
+    }
+    println!("worst weight-grad error: {worst}");
+}
+
+fn ablation() {
+    let cfg = families::synth_objects(202);
+    let train = cfg.generate(Split::Train, 400);
+    let test = cfg.generate(Split::Test, 200);
+    let tc = TrainConfig { epochs: 6, batch_size: 32, lr: 0.02, ..TrainConfig::default() };
+
+    // Variant A: one dense block then flatten+dense (no transition).
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        let units: Vec<Box<dyn Layer>> = (0..3)
+            .map(|i| {
+                Box::new(Conv2d::new(12 + i * 8, 8, 20, 20, 3, 1, 1, &mut rng)) as Box<dyn Layer>
+            })
+            .collect();
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(3, 12, 20, 20, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(DenseBlock::new(units, 12, 8)),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(36 * 100, 10, &mut rng)),
+        ];
+        let mut net = Network::new(layers, "A", 10);
+        let r = Trainer::new(tc.clone()).fit(&mut net, train.images(), train.labels());
+        println!(
+            "A one-block flatten: train {:.3} test {:.3} last-loss {:.2}",
+            r.final_train_accuracy,
+            accuracy(&mut net, test.images(), test.labels()),
+            r.epoch_losses.last().unwrap()
+        );
+    }
+    // Variant B: like densenet_mini but GAP replaced by flatten.
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        let units1: Vec<Box<dyn Layer>> = (0..3)
+            .map(|i| {
+                Box::new(Conv2d::new(12 + i * 8, 8, 20, 20, 3, 1, 1, &mut rng)) as Box<dyn Layer>
+            })
+            .collect();
+        let units2: Vec<Box<dyn Layer>> = (0..3)
+            .map(|i| {
+                Box::new(Conv2d::new(18 + i * 8, 8, 10, 10, 3, 1, 1, &mut rng)) as Box<dyn Layer>
+            })
+            .collect();
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(3, 12, 20, 20, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(DenseBlock::new(units1, 12, 8)),
+            Box::new(Conv2d::new(36, 18, 20, 20, 1, 1, 0, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(DenseBlock::new(units2, 18, 8)),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(42 * 100, 10, &mut rng)),
+        ];
+        let mut net = Network::new(layers, "B", 10);
+        let r = Trainer::new(tc.clone()).fit(&mut net, train.images(), train.labels());
+        println!(
+            "B two-block flatten: train {:.3} test {:.3} last-loss {:.2}",
+            r.final_train_accuracy,
+            accuracy(&mut net, test.images(), test.labels()),
+            r.epoch_losses.last().unwrap()
+        );
+    }
+    // Variant C: plain GAP control on convnet-ish net.
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(3, 24, 20, 20, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Conv2d::new(24, 36, 10, 10, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(AvgPoolGlobal::new()),
+            Box::new(Dense::new(36, 10, &mut rng)),
+        ];
+        let mut net = Network::new(layers, "C", 10);
+        let r = Trainer::new(tc).fit(&mut net, train.images(), train.labels());
+        println!(
+            "C conv+GAP control: train {:.3} test {:.3} last-loss {:.2}",
+            r.final_train_accuracy,
+            accuracy(&mut net, test.images(), test.labels()),
+            r.epoch_losses.last().unwrap()
+        );
+    }
+}
+
+fn main() {
+    weight_grad_check();
+    ablation();
+}

@@ -1,0 +1,29 @@
+//! Developer probe: diagnose DenseNet-mini training behavior.
+
+use pgmr_datasets::{families, Split};
+use pgmr_nn::zoo::{build, ArchSpec};
+use pgmr_nn::{train::accuracy, TrainConfig, Trainer};
+
+fn main() {
+    let cfg = families::synth_objects(202);
+    let train = cfg.generate(Split::Train, 400);
+    let test = cfg.generate(Split::Test, 200);
+    for lr in [0.05f32, 0.02, 0.01, 0.005] {
+        let spec = ArchSpec::densenet_mini(3, 20, 20, 10);
+        let mut net = build(&spec, 1);
+        let tc = TrainConfig { epochs: 6, batch_size: 32, lr, ..TrainConfig::default() };
+        let report = Trainer::new(tc).fit(&mut net, train.images(), train.labels());
+        let acc = accuracy(&mut net, test.images(), test.labels());
+        println!(
+            "lr {:.3}: losses {:?} train_acc {:.3} test_acc {:.3}",
+            lr,
+            report
+                .epoch_losses
+                .iter()
+                .map(|l| (l * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            report.final_train_accuracy,
+            acc
+        );
+    }
+}

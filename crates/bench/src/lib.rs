@@ -1,0 +1,246 @@
+//! # pgmr-bench
+//!
+//! Shared harness utilities for the experiment bench targets. Every table
+//! and figure of the paper has a dedicated `harness = false` bench target
+//! under `benches/` that prints the same rows/series the paper reports;
+//! this library holds the code they share: member-set construction,
+//! normalized-FP evaluation, and plain-text rendering helpers.
+//!
+//! Run everything with `cargo bench --workspace`, or a single exhibit with
+//! e.g. `cargo bench -p pgmr-bench --bench fig09_fp_reduction`.
+//!
+//! Scale is controlled by `PGMR_SCALE` (`tiny` / `small` / `full`,
+//! default `small`); trained networks are cached under
+//! `target/pgmr-model-cache` so repeat runs are fast (`PGMR_NO_CACHE=1`
+//! disables the cache).
+
+use pgmr_datasets::{Dataset, Split};
+use pgmr_metrics::RateSummary;
+use pgmr_preprocess::Preprocessor;
+use polygraph_mr::builder::{BuiltSystem, SystemBuilder};
+use polygraph_mr::decision::Thresholds;
+use polygraph_mr::ensemble::Member;
+use polygraph_mr::evaluate;
+use polygraph_mr::profile::{profile_thresholds, select_operating_point, Demand};
+use polygraph_mr::suite::{Benchmark, Scale};
+
+/// Prints the standard exhibit banner.
+pub fn banner(exhibit: &str, title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{exhibit}: {title}");
+    println!("================================================================");
+}
+
+/// The harness scale (from `PGMR_SCALE`).
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Trains (or loads) `n` random-initialization copies of the benchmark's
+/// baseline network — the traditional-MR configuration (§III-C).
+pub fn random_init_members(bench: &Benchmark, n: usize, seed0: u64) -> Vec<Member> {
+    (0..n)
+        .map(|k| bench.member(Preprocessor::Identity, seed0 + k as u64))
+        .collect()
+}
+
+/// Precomputes per-member probabilities over a dataset:
+/// `out[m][i]` = member `m`'s softmax on image `i`.
+pub fn member_probs(members: &mut [Member], data: &Dataset) -> Vec<Vec<Vec<f32>>> {
+    members.iter_mut().map(|m| m.predict_all(data.images())).collect()
+}
+
+/// Evaluates a member set at the operating point profiled on the
+/// validation split with the paper's constraint (TP ≥ ORG validation
+/// accuracy), reporting the **test-split** rates and the thresholds used.
+///
+/// `baseline_val_accuracy` is the TP floor; pass the ORG member's accuracy
+/// on the validation split.
+pub fn evaluate_at_profiled_point(
+    val_probs: &[Vec<Vec<f32>>],
+    val_labels: &[usize],
+    test_probs: &[Vec<Vec<f32>>],
+    test_labels: &[usize],
+    baseline_val_accuracy: f64,
+) -> (RateSummary, Thresholds) {
+    let frontier = profile_thresholds(val_probs, val_labels);
+    let point = select_operating_point(&frontier, Demand::TpAtLeast(baseline_val_accuracy))
+        .or_else(|| frontier.last().copied())
+        .expect("non-empty frontier");
+    let summary = evaluate::evaluate(test_probs, test_labels, point.tag);
+    (summary, point.tag)
+}
+
+/// The result of a full ORG / N_MR / N_PGMR comparison on one benchmark
+/// (the Fig. 9 columns).
+pub struct BenchmarkComparison {
+    /// Benchmark id.
+    pub id: &'static str,
+    /// ORG (single network) test FP rate.
+    pub org_fp: f64,
+    /// ORG test accuracy.
+    pub org_accuracy: f64,
+    /// N_MR test FP rate at the profiled operating point.
+    pub mr_fp: f64,
+    /// N_PGMR test FP rate at the profiled operating point.
+    pub pgmr_fp: f64,
+    /// The PGMR configuration (Table III row).
+    pub pgmr_config: Vec<Preprocessor>,
+    /// The PGMR system (reusable for RAMR/RADE follow-ups).
+    pub built: BuiltSystem,
+}
+
+impl BenchmarkComparison {
+    /// Normalized FP of a variant: `fp / org_fp` (1.0 = no improvement).
+    pub fn normalized(&self, fp: f64) -> f64 {
+        if self.org_fp == 0.0 {
+            if fp == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            fp / self.org_fp
+        }
+    }
+}
+
+/// Recovers the exact members the greedy [`SystemBuilder`] trained for a
+/// configuration (baseline first, candidates seeded by their standard-pool
+/// position).
+pub fn members_for_configuration(
+    bench: &Benchmark,
+    configuration: &[Preprocessor],
+    seed: u64,
+) -> Vec<Member> {
+    configuration
+        .iter()
+        .enumerate()
+        .map(|(i, &prep)| {
+            if i == 0 {
+                bench.member(Preprocessor::Identity, seed)
+            } else {
+                let k = pgmr_preprocess::standard_pool()
+                    .iter()
+                    .position(|&p| p == prep)
+                    .expect("configuration preprocessor is from the standard pool");
+                bench.member(prep, seed + k as u64 + 1)
+            }
+        })
+        .collect()
+}
+
+/// Runs the ORG vs `n`_MR vs `n`_PGMR comparison for one benchmark, the
+/// shared engine behind Fig. 9 / Table III and the cost exhibits.
+pub fn compare_benchmark(bench: &Benchmark, n: usize, seed: u64) -> BenchmarkComparison {
+    let val = bench.data(Split::Val);
+    let test = bench.data(Split::Test);
+
+    // ORG.
+    let mut org = bench.member(Preprocessor::Identity, seed);
+    let org_val_probs = vec![org.predict_all(val.images())];
+    let org_val_acc = evaluate::member_accuracy(&org_val_probs[0], val.labels());
+    let org_test_probs = org.predict_all(test.images());
+    let org_records = evaluate::records_from_probs(&org_test_probs, test.labels());
+    let org_accuracy =
+        org_records.iter().filter(|r| r.is_correct()).count() as f64 / org_records.len() as f64;
+    let org_fp = 1.0 - org_accuracy;
+
+    // N_MR: n random-init copies, profiled thresholds.
+    let mut mr_members = random_init_members(bench, n, seed);
+    let mr_val = member_probs(&mut mr_members, &val);
+    let mr_test = member_probs(&mut mr_members, &test);
+    let (mr_summary, _) =
+        evaluate_at_profiled_point(&mr_val, val.labels(), &mr_test, test.labels(), org_val_acc);
+
+    // N_PGMR via the greedy builder.
+    let built = SystemBuilder::new(bench).max_networks(n).build(seed);
+    let mut pgmr_members = members_for_configuration(bench, &built.configuration, seed);
+    let pgmr_val = member_probs(&mut pgmr_members, &val);
+    let pgmr_test = member_probs(&mut pgmr_members, &test);
+    let (pgmr_summary, _) = evaluate_at_profiled_point(
+        &pgmr_val,
+        val.labels(),
+        &pgmr_test,
+        test.labels(),
+        org_val_acc,
+    );
+
+    BenchmarkComparison {
+        id: bench.id,
+        org_fp,
+        org_accuracy,
+        mr_fp: mr_summary.fp,
+        pgmr_fp: pgmr_summary.fp,
+        pgmr_config: built.configuration.clone(),
+        built,
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polygraph_mr::builder::SystemBuilder;
+    use polygraph_mr::suite::Scale;
+
+    #[test]
+    fn pct_formats_fractions() {
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn normalized_fp_handles_zero_baseline() {
+        let bench = Benchmark::lenet5_digits(Scale::Tiny);
+        let built = SystemBuilder::new(&bench).max_networks(2).build(99);
+        let cmp = BenchmarkComparison {
+            id: "t",
+            org_fp: 0.0,
+            org_accuracy: 1.0,
+            mr_fp: 0.0,
+            pgmr_fp: 0.01,
+            pgmr_config: built.configuration.clone(),
+            built,
+        };
+        assert_eq!(cmp.normalized(0.0), 1.0);
+        assert!(cmp.normalized(0.01).is_infinite());
+    }
+
+    #[test]
+    fn random_init_members_differ() {
+        let bench = Benchmark::lenet5_digits(Scale::Tiny);
+        let mut members = random_init_members(&bench, 2, 70);
+        let test = bench.data(Split::Test).truncated(10);
+        let a = members[0].predict_all(test.images());
+        let b = members[1].predict_all(test.images());
+        assert_ne!(a, b, "different seeds must give different networks");
+    }
+
+    #[test]
+    fn members_for_configuration_reconstructs_builder_members() {
+        let bench = Benchmark::lenet5_digits(Scale::Tiny);
+        let built = SystemBuilder::new(&bench).max_networks(3).build(71);
+        let mut rebuilt = members_for_configuration(&bench, &built.configuration, 71);
+        assert_eq!(rebuilt.len(), 3);
+        assert_eq!(
+            rebuilt.iter().map(|m| m.preprocessor()).collect::<Vec<_>>(),
+            built.configuration
+        );
+        // The reconstructed members are the exact cached networks: their
+        // predictions match the builder's system member-for-member.
+        let test = bench.data(Split::Test).truncated(10);
+        let mut system = built.system;
+        for (m, sys_m) in rebuilt.iter_mut().zip(system.ensemble_mut().members_mut()) {
+            for img in test.images() {
+                assert_eq!(m.predict(img), sys_m.predict(img));
+            }
+        }
+    }
+}

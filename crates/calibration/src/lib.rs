@@ -1,0 +1,203 @@
+//! # pgmr-calibration
+//!
+//! Confidence calibration by temperature scaling (Guo et al., used by the
+//! paper's §IV-E comparison).
+//!
+//! Temperature scaling divides the logits by a single scalar `T` before the
+//! softmax. `T` is fitted by minimizing negative log-likelihood on a
+//! validation set — a one-dimensional convex problem we solve with
+//! golden-section search. The paper's finding, which the `fig14` harness
+//! reproduces: scaling lowers confidences (and thus shifts both FP-vs-
+//! threshold and TP-vs-threshold curves) but **leaves the TP/FP Pareto
+//! frontier unchanged**, because a single monotone transform cannot reorder
+//! predictions.
+//!
+//! ## Example
+//!
+//! ```
+//! use pgmr_calibration::{fit_temperature, scaled_softmax};
+//!
+//! // Overconfident logits: temperature > 1 softens them.
+//! let logits = vec![vec![4.0, 0.0], vec![3.5, 0.0], vec![5.0, 0.0]];
+//! let labels = vec![0, 1, 0]; // one of the confident answers is wrong
+//! let t = fit_temperature(&logits, &labels);
+//! assert!(t > 1.0);
+//! let p = scaled_softmax(&logits[0], t);
+//! assert!(p[0] < 0.98);
+//! ```
+
+use pgmr_metrics::PredictionRecord;
+
+/// Numerically stable softmax of `logits / temperature`.
+///
+/// # Panics
+///
+/// Panics if `temperature <= 0` or `logits` is empty.
+pub fn scaled_softmax(logits: &[f32], temperature: f32) -> Vec<f32> {
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert!(!logits.is_empty(), "empty logit vector");
+    let scaled: Vec<f32> = logits.iter().map(|&v| v / temperature).collect();
+    let max = scaled.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scaled.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Mean negative log-likelihood of the labels under temperature-scaled
+/// softmax.
+///
+/// # Panics
+///
+/// Panics on empty input, mismatched lengths, or out-of-range labels.
+pub fn nll(logits: &[Vec<f32>], labels: &[usize], temperature: f32) -> f64 {
+    assert!(!logits.is_empty(), "empty logit set");
+    assert_eq!(logits.len(), labels.len(), "logit/label count mismatch");
+    let mut total = 0.0f64;
+    for (row, &label) in logits.iter().zip(labels) {
+        assert!(label < row.len(), "label {label} out of range");
+        let p = scaled_softmax(row, temperature);
+        total -= (p[label].max(1e-12) as f64).ln();
+    }
+    total / logits.len() as f64
+}
+
+/// Fits the temperature minimizing validation NLL via golden-section search
+/// over `T ∈ [0.05, 20]`.
+///
+/// # Panics
+///
+/// Panics on empty input or mismatched lengths.
+pub fn fit_temperature(logits: &[Vec<f32>], labels: &[usize]) -> f32 {
+    assert!(!logits.is_empty(), "empty logit set");
+    assert_eq!(logits.len(), labels.len(), "logit/label count mismatch");
+    // Golden-section search on log-temperature for better conditioning.
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut lo, mut hi) = (0.05f64.ln(), 20.0f64.ln());
+    let f = |log_t: f64| nll(logits, labels, log_t.exp() as f32);
+    let mut x1 = hi - phi * (hi - lo);
+    let mut x2 = lo + phi * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..60 {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    ((lo + hi) / 2.0).exp() as f32
+}
+
+/// Converts logits + labels into [`PredictionRecord`]s under a temperature,
+/// taking the arg-max class and its scaled-softmax probability.
+///
+/// # Panics
+///
+/// Panics on empty input or mismatched lengths.
+pub fn records_at_temperature(
+    logits: &[Vec<f32>],
+    labels: &[usize],
+    temperature: f32,
+) -> Vec<PredictionRecord> {
+    assert_eq!(logits.len(), labels.len(), "logit/label count mismatch");
+    logits
+        .iter()
+        .zip(labels)
+        .map(|(row, &label)| {
+            let p = scaled_softmax(row, temperature);
+            let mut best = 0;
+            for (i, &v) in p.iter().enumerate().skip(1) {
+                if v > p[best] {
+                    best = i;
+                }
+            }
+            PredictionRecord { label, predicted: best, confidence: p[best] }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_one_is_plain_softmax() {
+        let p = scaled_softmax(&[1.0, 2.0, 3.0], 1.0);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn high_temperature_flattens() {
+        let sharp = scaled_softmax(&[4.0, 0.0], 1.0);
+        let soft = scaled_softmax(&[4.0, 0.0], 8.0);
+        assert!(soft[0] < sharp[0]);
+        assert!(soft[0] > 0.5, "ranking preserved");
+    }
+
+    #[test]
+    fn scaling_never_reorders() {
+        let logits = vec![0.3f32, -1.0, 2.5, 0.9];
+        for t in [0.1f32, 0.5, 1.0, 3.0, 10.0] {
+            let p = scaled_softmax(&logits, t);
+            let mut order: Vec<usize> = (0..4).collect();
+            order.sort_by(|&a, &b| p[b].partial_cmp(&p[a]).unwrap());
+            assert_eq!(order, vec![2, 3, 0, 1], "t={t}");
+        }
+    }
+
+    #[test]
+    fn fit_finds_softening_temperature_for_overconfident_model() {
+        // Model is right 60% of the time but always ~99% confident: the
+        // NLL-optimal temperature must be well above 1.
+        let mut logits = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            logits.push(vec![5.0, 0.0]);
+            labels.push(if i % 10 < 6 { 0 } else { 1 });
+        }
+        let t = fit_temperature(&logits, &labels);
+        assert!(t > 2.0, "t = {t}");
+        let before = nll(&logits, &labels, 1.0);
+        let after = nll(&logits, &labels, t);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn fit_keeps_calibrated_model_near_one() {
+        // Logit gap ln(3): confidence 75%, and 75% of answers correct.
+        let mut logits = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            logits.push(vec![(3.0f32).ln(), 0.0]);
+            labels.push(if i % 4 < 3 { 0 } else { 1 });
+        }
+        let t = fit_temperature(&logits, &labels);
+        assert!((t - 1.0).abs() < 0.15, "t = {t}");
+    }
+
+    #[test]
+    fn records_take_argmax() {
+        let logits = vec![vec![0.0, 3.0], vec![2.0, 0.0]];
+        let recs = records_at_temperature(&logits, &[1, 1], 1.0);
+        assert_eq!(recs[0].predicted, 1);
+        assert!(recs[0].is_correct());
+        assert_eq!(recs[1].predicted, 0);
+        assert!(!recs[1].is_correct());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_temperature() {
+        scaled_softmax(&[1.0], 0.0);
+    }
+}

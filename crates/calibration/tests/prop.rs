@@ -1,0 +1,66 @@
+//! Property-based tests for temperature scaling.
+
+use pgmr_calibration::{fit_temperature, nll, records_at_temperature, scaled_softmax};
+use proptest::prelude::*;
+
+fn logit_set() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<usize>)> {
+    (2usize..5, 2usize..40).prop_flat_map(|(classes, n)| {
+        (
+            prop::collection::vec(prop::collection::vec(-8.0f32..8.0, classes), n),
+            prop::collection::vec(0usize..classes, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scaled softmax is a distribution for any valid temperature.
+    #[test]
+    fn scaled_softmax_is_distribution(logits in prop::collection::vec(-20.0f32..20.0, 1..10), t in 0.05f32..20.0) {
+        let p = scaled_softmax(&logits, t);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    /// The fitted temperature is a (near-)minimizer: NLL at the fit is no
+    /// worse than at a grid of alternatives, up to search tolerance.
+    #[test]
+    fn fitted_temperature_minimizes_nll((logits, labels) in logit_set()) {
+        let t = fit_temperature(&logits, &labels);
+        prop_assert!((0.04..=21.0).contains(&t), "t = {t}");
+        let at_fit = nll(&logits, &labels, t);
+        for alt in [0.1f32, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            prop_assert!(
+                at_fit <= nll(&logits, &labels, alt) + 1e-3,
+                "t={t} worse than alt={alt}"
+            );
+        }
+    }
+
+    /// Temperature never changes which class is predicted, so accuracy is
+    /// invariant under calibration — the structural reason the paper's
+    /// Fig. 14 Pareto frontier cannot move.
+    #[test]
+    fn accuracy_invariant_under_temperature((logits, labels) in logit_set(), t in 0.05f32..20.0) {
+        let base = records_at_temperature(&logits, &labels, 1.0);
+        let scaled = records_at_temperature(&logits, &labels, t);
+        let acc = |rs: &[pgmr_metrics::PredictionRecord]| {
+            rs.iter().filter(|r| r.is_correct()).count()
+        };
+        prop_assert_eq!(acc(&base), acc(&scaled));
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert_eq!(a.predicted, b.predicted);
+        }
+    }
+
+    /// Temperatures above 1 never increase any record's confidence.
+    #[test]
+    fn higher_temperature_softens((logits, labels) in logit_set(), t in 1.0f32..20.0) {
+        let base = records_at_temperature(&logits, &labels, 1.0);
+        let scaled = records_at_temperature(&logits, &labels, t);
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert!(b.confidence <= a.confidence + 1e-5);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Prediction-agreement histograms (§III-F, Fig. 7).
+//!
+//! For each input, the *agreement level* is the largest number of member
+//! networks whose top-1 predictions coincide (confidence ignored, as in the
+//! paper's experiment). The histogram over the test set shows how often all
+//! networks harmonize — the headroom RADE exploits.
+
+use pgmr_tensor::argmax;
+
+/// Histogram of agreement levels: `out[k]` is the fraction of samples whose
+/// maximum agreement is exactly `k + 1` member votes, for `k + 1` in
+/// `1..=n_members`.
+///
+/// # Panics
+///
+/// Panics if `member_probs` is empty or ragged.
+pub fn agreement_histogram(member_probs: &[Vec<Vec<f32>>]) -> Vec<f64> {
+    assert!(!member_probs.is_empty(), "need at least one member");
+    let n_members = member_probs.len();
+    let n_samples = member_probs[0].len();
+    assert!(n_samples > 0, "need at least one sample");
+    assert!(
+        member_probs.iter().all(|m| m.len() == n_samples),
+        "members disagree on sample count"
+    );
+    let mut hist = vec![0usize; n_members];
+    for i in 0..n_samples {
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for m in member_probs {
+            let class = argmax(&m[i]);
+            match counts.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((class, 1)),
+            }
+        }
+        let level = counts.iter().map(|&(_, n)| n).max().expect("non-empty");
+        hist[level - 1] += 1;
+    }
+    hist.into_iter().map(|c| c as f64 / n_samples as f64).collect()
+}
+
+/// Fraction of samples whose agreement level reaches `min_level` (e.g. the
+/// paper's ">50% of inputs need no extra networks" observation uses the
+/// full-agreement level).
+pub fn fraction_at_least(histogram: &[f64], min_level: usize) -> f64 {
+    assert!(min_level >= 1, "agreement level starts at 1");
+    histogram.iter().skip(min_level - 1).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onehot(class: usize, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        v[class] = 1.0;
+        v
+    }
+
+    #[test]
+    fn full_agreement_lands_in_top_bucket() {
+        let m0 = vec![onehot(1, 3), onehot(2, 3)];
+        let m1 = vec![onehot(1, 3), onehot(2, 3)];
+        let m2 = vec![onehot(1, 3), onehot(2, 3)];
+        let hist = agreement_histogram(&[m0, m1, m2]);
+        assert_eq!(hist, vec![0.0, 0.0, 1.0]);
+        assert_eq!(fraction_at_least(&hist, 3), 1.0);
+    }
+
+    #[test]
+    fn mixed_agreement_distributes() {
+        // Sample 0: all agree (level 3). Sample 1: 2-1 split (level 2).
+        // Sample 2: all differ (level 1). Sample 3: 2-1 split (level 2).
+        let m0 = vec![onehot(0, 4), onehot(0, 4), onehot(0, 4), onehot(1, 4)];
+        let m1 = vec![onehot(0, 4), onehot(0, 4), onehot(1, 4), onehot(1, 4)];
+        let m2 = vec![onehot(0, 4), onehot(2, 4), onehot(2, 4), onehot(3, 4)];
+        let hist = agreement_histogram(&[m0, m1, m2]);
+        assert_eq!(hist, vec![0.25, 0.5, 0.25]);
+        assert_eq!(fraction_at_least(&hist, 2), 0.75);
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let m0 = vec![onehot(0, 2), onehot(1, 2), onehot(0, 2)];
+        let m1 = vec![onehot(1, 2), onehot(1, 2), onehot(0, 2)];
+        let hist = agreement_histogram(&[m0, m1]);
+        assert!((hist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn rejects_empty() {
+        agreement_histogram(&[]);
+    }
+}

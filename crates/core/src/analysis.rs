@@ -1,0 +1,197 @@
+//! Misclassification analysis (§II-C, Fig. 3).
+//!
+//! The paper manually inspects the ≥90%-confidence mispredictions of
+//! AlexNet and identifies three characteristics: poor image detail,
+//! multiple objects, and class similarity. Our datasets carry ground-truth
+//! corruption tags, so the same analysis is a counting exercise.
+
+use pgmr_datasets::{CorruptionTag, SampleMeta};
+use pgmr_metrics::PredictionRecord;
+use serde::{Deserialize, Serialize};
+
+/// One row of the breakdown: a characteristic and how many high-confidence
+/// errors carry it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// The §II-C characteristic name.
+    pub characteristic: String,
+    /// High-confidence errors carrying the characteristic.
+    pub count: usize,
+    /// Fraction of all high-confidence errors (rows can overlap — a sample
+    /// may carry several tags).
+    pub fraction: f64,
+}
+
+/// The full misclassification breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisclassificationBreakdown {
+    /// The confidence cutoff used (the paper uses 0.9).
+    pub confidence_threshold: f32,
+    /// Number of mispredictions at or above the cutoff.
+    pub high_confidence_errors: usize,
+    /// Per-characteristic rows, in the paper's order.
+    pub rows: Vec<BreakdownRow>,
+    /// High-confidence errors with no corruption tag at all.
+    pub untagged: usize,
+}
+
+/// Buckets high-confidence mispredictions by their ground-truth
+/// characteristics.
+///
+/// # Panics
+///
+/// Panics if `records` and `metas` lengths differ.
+pub fn misclassification_breakdown(
+    records: &[PredictionRecord],
+    metas: &[SampleMeta],
+    confidence_threshold: f32,
+) -> MisclassificationBreakdown {
+    assert_eq!(records.len(), metas.len(), "record/meta count mismatch");
+    let selected: Vec<&SampleMeta> = records
+        .iter()
+        .zip(metas)
+        .filter(|(r, _)| !r.is_correct() && r.confidence >= confidence_threshold)
+        .map(|(_, m)| m)
+        .collect();
+    let total = selected.len();
+
+    let characteristics = ["poor image detail", "multiple objects", "class similarity"];
+    let rows = characteristics
+        .iter()
+        .map(|&name| {
+            let count = selected
+                .iter()
+                .filter(|m| {
+                    m.tags
+                        .iter()
+                        .any(|t| t.characteristic() == name)
+                })
+                .count();
+            BreakdownRow {
+                characteristic: name.to_string(),
+                count,
+                fraction: if total == 0 { 0.0 } else { count as f64 / total as f64 },
+            }
+        })
+        .collect();
+    let untagged = selected.iter().filter(|m| m.is_clean()).count();
+    MisclassificationBreakdown {
+        confidence_threshold,
+        high_confidence_errors: total,
+        rows,
+        untagged,
+    }
+}
+
+/// Per-tag error enrichment: how much more likely a sample carrying `tag`
+/// is to be mispredicted than an untagged sample. Values above 1 mean the
+/// corruption genuinely causes errors.
+///
+/// Returns `(tag, error_rate_with_tag, error_rate_clean, enrichment)` per
+/// tag; enrichment is `NaN` when a denominator is empty.
+pub fn tag_enrichment(
+    records: &[PredictionRecord],
+    metas: &[SampleMeta],
+) -> Vec<(CorruptionTag, f64, f64, f64)> {
+    assert_eq!(records.len(), metas.len(), "record/meta count mismatch");
+    let clean_total = metas.iter().filter(|m| m.is_clean()).count();
+    let clean_errors = records
+        .iter()
+        .zip(metas)
+        .filter(|(r, m)| m.is_clean() && !r.is_correct())
+        .count();
+    let clean_rate = if clean_total == 0 {
+        f64::NAN
+    } else {
+        clean_errors as f64 / clean_total as f64
+    };
+    CorruptionTag::ALL
+        .iter()
+        .map(|&tag| {
+            let with_tag = metas.iter().filter(|m| m.has(tag)).count();
+            let errors = records
+                .iter()
+                .zip(metas)
+                .filter(|(r, m)| m.has(tag) && !r.is_correct())
+                .count();
+            let rate = if with_tag == 0 {
+                f64::NAN
+            } else {
+                errors as f64 / with_tag as f64
+            };
+            (tag, rate, clean_rate, rate / clean_rate)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(correct: bool, confidence: f32) -> PredictionRecord {
+        PredictionRecord { label: 0, predicted: if correct { 0 } else { 1 }, confidence }
+    }
+
+    fn meta(tags: &[CorruptionTag]) -> SampleMeta {
+        SampleMeta { tags: tags.to_vec(), secondary_class: None }
+    }
+
+    #[test]
+    fn breakdown_counts_only_high_confidence_errors() {
+        let records = vec![
+            rec(false, 0.95), // counted
+            rec(false, 0.5),  // below threshold
+            rec(true, 0.99),  // correct
+            rec(false, 0.92), // counted
+        ];
+        let metas = vec![
+            meta(&[CorruptionTag::Blur]),
+            meta(&[CorruptionTag::Occlusion]),
+            meta(&[]),
+            meta(&[CorruptionTag::MultiObject, CorruptionTag::SimilarClassPair]),
+        ];
+        let b = misclassification_breakdown(&records, &metas, 0.9);
+        assert_eq!(b.high_confidence_errors, 2);
+        let by_name = |n: &str| b.rows.iter().find(|r| r.characteristic == n).unwrap().count;
+        assert_eq!(by_name("poor image detail"), 1);
+        assert_eq!(by_name("multiple objects"), 1);
+        assert_eq!(by_name("class similarity"), 1);
+        assert_eq!(b.untagged, 0);
+    }
+
+    #[test]
+    fn untagged_errors_are_reported() {
+        let records = vec![rec(false, 0.99)];
+        let metas = vec![meta(&[])];
+        let b = misclassification_breakdown(&records, &metas, 0.9);
+        assert_eq!(b.untagged, 1);
+        assert!(b.rows.iter().all(|r| r.count == 0));
+    }
+
+    #[test]
+    fn enrichment_detects_harmful_tags() {
+        // Blurred samples err at 80%, clean at 20%.
+        let mut records = Vec::new();
+        let mut metas = Vec::new();
+        for i in 0..100 {
+            records.push(rec(i % 5 != 0, 0.9)); // clean: 20% errors
+            metas.push(meta(&[]));
+        }
+        for i in 0..100 {
+            records.push(rec(i % 5 == 0, 0.9)); // blurred: 80% errors
+            metas.push(meta(&[CorruptionTag::Blur]));
+        }
+        let rows = tag_enrichment(&records, &metas);
+        let blur = rows.iter().find(|(t, ..)| *t == CorruptionTag::Blur).unwrap();
+        assert!((blur.1 - 0.8).abs() < 1e-9);
+        assert!((blur.2 - 0.2).abs() < 1e-9);
+        assert!((blur.3 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_selection_is_safe() {
+        let b = misclassification_breakdown(&[rec(true, 0.99)], &[meta(&[])], 0.9);
+        assert_eq!(b.high_confidence_errors, 0);
+        assert!(b.rows.iter().all(|r| r.fraction == 0.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Uncertainty baselines from the paper's related work (§V).
+//!
+//! The paper positions PolygraphMR against model-uncertainty methods —
+//! deep ensembles (Lakshminarayanan et al.) and MC-dropout sampling
+//! (Gal & Ghahramani) — noting their "very high execution overhead, e.g.
+//! 10× to 100×". The deep-ensemble comparator is exactly the `N_MR`
+//! configuration already provided by [`crate::ensemble`]; this module adds
+//! the MC-dropout comparator: a dropout-equipped network sampled `T` times
+//! per input, with the averaged softmax as the predictive distribution and
+//! its max as the confidence.
+
+use pgmr_metrics::PredictionRecord;
+use pgmr_nn::Network;
+use pgmr_tensor::{argmax, Tensor};
+
+/// An MC-dropout uncertainty estimator wrapping a dropout-equipped trained
+/// network.
+pub struct McDropout {
+    network: Network,
+    samples: usize,
+}
+
+impl McDropout {
+    /// Wraps a trained network, enabling Monte-Carlo dropout mode, and
+    /// fixes the number of stochastic passes per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn new(mut network: Network, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one MC sample");
+        network.set_mc_dropout(true);
+        McDropout { network, samples }
+    }
+
+    /// Number of stochastic passes per input — also the method's cost
+    /// multiplier relative to a single deterministic inference.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The cost multiplier over one deterministic inference (== samples).
+    pub fn cost_multiplier(&self) -> usize {
+        self.samples
+    }
+
+    /// Predictive distribution for one image: the mean softmax over `T`
+    /// stochastic passes.
+    pub fn predict(&mut self, image: &Tensor) -> Vec<f32> {
+        let classes = self.network.num_classes();
+        let mut mean = vec![0.0f32; classes];
+        for _ in 0..self.samples {
+            let probs = &self.network.predict_proba(image)[0];
+            for (m, &p) in mean.iter_mut().zip(probs) {
+                *m += p;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.samples as f32;
+        }
+        mean
+    }
+
+    /// Prediction records over a labeled set: predicted class = argmax of
+    /// the mean distribution, confidence = its probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree.
+    pub fn records(&mut self, images: &[Tensor], labels: &[usize]) -> Vec<PredictionRecord> {
+        assert_eq!(images.len(), labels.len(), "image/label count mismatch");
+        images
+            .iter()
+            .zip(labels)
+            .map(|(img, &label)| {
+                let p = self.predict(img);
+                let predicted = argmax(&p);
+                PredictionRecord { label, predicted, confidence: p[predicted] }
+            })
+            .collect()
+    }
+
+    /// Consumes the wrapper and returns the network (MC mode still on).
+    pub fn into_inner(self) -> Network {
+        self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgmr_nn::zoo::{build, ArchSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_prediction_is_a_distribution() {
+        let net = build(&ArchSpec::convnet_dropout(3, 20, 20, 10), 1);
+        let mut mc = McDropout::new(net, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = Tensor::uniform(vec![1, 3, 20, 20], 0.0, 1.0, &mut rng);
+        let p = mc.predict(&img);
+        assert_eq!(p.len(), 10);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert_eq!(mc.cost_multiplier(), 5);
+    }
+
+    #[test]
+    fn averaging_reduces_confidence_vs_single_pass() {
+        // MC averaging over stochastic masks can only soften the max
+        // probability relative to the most confident single pass.
+        let net = build(&ArchSpec::convnet_dropout(3, 20, 20, 10), 2);
+        let mut mc = McDropout::new(net.clone(), 20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = Tensor::uniform(vec![1, 3, 20, 20], 0.0, 1.0, &mut rng);
+        let mean = mc.predict(&img);
+        let mean_max = mean[argmax(&mean)];
+
+        let mut single = McDropout::new(net, 1);
+        let mut best_single: f32 = 0.0;
+        for _ in 0..20 {
+            let p = single.predict(&img);
+            best_single = best_single.max(p[argmax(&p)]);
+        }
+        assert!(mean_max <= best_single + 1e-6);
+    }
+
+    #[test]
+    fn records_shape_and_range() {
+        let net = build(&ArchSpec::convnet_dropout(3, 20, 20, 10), 3);
+        let mut mc = McDropout::new(net, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let images: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::uniform(vec![1, 3, 20, 20], 0.0, 1.0, &mut rng))
+            .collect();
+        let labels = vec![0usize, 1, 2, 3];
+        let recs = mc.records(&images, &labels);
+        assert_eq!(recs.len(), 4);
+        for r in recs {
+            assert!(r.predicted < 10);
+            assert!((0.0..=1.0).contains(&r.confidence));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MC sample")]
+    fn rejects_zero_samples() {
+        let net = build(&ArchSpec::convnet_dropout(3, 20, 20, 10), 1);
+        McDropout::new(net, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Preprocessor comparison by confidence deltas (§III-G, Fig. 8).
+//!
+//! For every input, *delta* is the difference between a preprocessed CNN's
+//! top-1 confidence and the baseline CNN's top-1 confidence. The deltas are
+//! split by whether the **baseline** got the input right:
+//!
+//! * on baseline-*mispredicted* inputs, more mass at negative deltas is
+//!   good — the preprocessed network is less confident about inputs the
+//!   baseline gets wrong, so it is less likely to repeat the misprediction;
+//! * on baseline-*correct* inputs, more mass at negative deltas is bad —
+//!   the preprocessed network risks losing correct answers.
+//!
+//! [`DeltaAnalysis::rank_score`] combines both sides into a single comparable number used
+//! to shortlist preprocessors before the greedy builder runs.
+
+use pgmr_tensor::argmax;
+use serde::{Deserialize, Serialize};
+
+/// Confidence deltas of one preprocessed member against the baseline,
+/// split by baseline correctness.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeltaAnalysis {
+    /// Deltas on inputs the baseline mispredicted.
+    pub mispredicted: Vec<f32>,
+    /// Deltas on inputs the baseline got right.
+    pub correct: Vec<f32>,
+}
+
+impl DeltaAnalysis {
+    /// Fraction of the given deltas that are negative.
+    fn negative_fraction(deltas: &[f32]) -> f64 {
+        if deltas.is_empty() {
+            return 0.0;
+        }
+        deltas.iter().filter(|&&d| d < 0.0).count() as f64 / deltas.len() as f64
+    }
+
+    /// Probability of a negative delta on baseline-mispredicted inputs
+    /// (higher ⇒ better diversity).
+    pub fn p_negative_on_mispredicted(&self) -> f64 {
+        Self::negative_fraction(&self.mispredicted)
+    }
+
+    /// Probability of a negative delta on baseline-correct inputs
+    /// (higher ⇒ more correct answers at risk).
+    pub fn p_negative_on_correct(&self) -> f64 {
+        Self::negative_fraction(&self.correct)
+    }
+
+    /// The ranking score of §III-G: reward disagreement with baseline
+    /// errors, penalize disagreement with baseline successes.
+    pub fn rank_score(&self) -> f64 {
+        self.p_negative_on_mispredicted() - self.p_negative_on_correct()
+    }
+
+    /// Empirical CDF of the given side's deltas at `points` evenly spaced
+    /// values over `[-1, 1]` (the Fig. 8 x-axis).
+    pub fn cdf(deltas: &[f32], points: usize) -> Vec<(f32, f64)> {
+        assert!(points >= 2, "need at least two CDF points");
+        let n = deltas.len().max(1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = -1.0 + 2.0 * i as f32 / (points - 1) as f32;
+                let mass = deltas.iter().filter(|&&d| d <= x).count() as f64 / n;
+                (x, mass)
+            })
+            .collect()
+    }
+}
+
+/// Computes the delta analysis of a preprocessed member against the
+/// baseline member from precomputed probabilities.
+///
+/// # Panics
+///
+/// Panics if the lengths disagree.
+pub fn delta_analysis(
+    baseline_probs: &[Vec<f32>],
+    preprocessed_probs: &[Vec<f32>],
+    labels: &[usize],
+) -> DeltaAnalysis {
+    assert_eq!(baseline_probs.len(), labels.len(), "baseline/label count mismatch");
+    assert_eq!(
+        baseline_probs.len(),
+        preprocessed_probs.len(),
+        "baseline/preprocessed count mismatch"
+    );
+    let mut analysis = DeltaAnalysis::default();
+    for ((base, prep), &label) in baseline_probs.iter().zip(preprocessed_probs).zip(labels) {
+        let base_class = argmax(base);
+        let delta = prep[argmax(prep)] - base[base_class];
+        if base_class == label {
+            analysis.correct.push(delta);
+        } else {
+            analysis.mispredicted.push(delta);
+        }
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onehot(class: usize, n: usize, conf: f32) -> Vec<f32> {
+        let mut v = vec![(1.0 - conf) / (n as f32 - 1.0); n];
+        v[class] = conf;
+        v
+    }
+
+    #[test]
+    fn deltas_split_by_baseline_correctness() {
+        let base = vec![onehot(0, 3, 0.9), onehot(1, 3, 0.8)];
+        let prep = vec![onehot(0, 3, 0.7), onehot(1, 3, 0.95)];
+        let labels = vec![0, 0]; // baseline right on 0, wrong on 1
+        let a = delta_analysis(&base, &prep, &labels);
+        assert_eq!(a.correct.len(), 1);
+        assert_eq!(a.mispredicted.len(), 1);
+        assert!((a.correct[0] - (0.7 - 0.9)).abs() < 1e-6);
+        assert!((a.mispredicted[0] - (0.95 - 0.8)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_score_prefers_useful_diversity() {
+        // Preprocessor A: lower confidence exactly on baseline errors.
+        let a = DeltaAnalysis {
+            mispredicted: vec![-0.3, -0.2, -0.25],
+            correct: vec![0.01, 0.0, 0.02],
+        };
+        // Preprocessor B: lowers confidence everywhere.
+        let b = DeltaAnalysis {
+            mispredicted: vec![-0.3, -0.2, -0.25],
+            correct: vec![-0.1, -0.2, -0.05],
+        };
+        assert!(a.rank_score() > b.rank_score());
+    }
+
+    #[test]
+    fn cdf_is_monotone_from_zero_to_one() {
+        let deltas = vec![-0.5f32, -0.1, 0.0, 0.2, 0.7];
+        let cdf = DeltaAnalysis::cdf(&deltas, 21);
+        assert_eq!(cdf.first().unwrap().1, 0.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_sides_are_safe() {
+        let a = DeltaAnalysis::default();
+        assert_eq!(a.p_negative_on_mispredicted(), 0.0);
+        assert_eq!(a.rank_score(), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Layers 1 and 2: preprocessor-paired networks and the heterogeneous MR
+//! ensemble.
+
+use pgmr_datasets::Dataset;
+use pgmr_nn::zoo::{build, ArchSpec};
+use pgmr_nn::{Network, TrainConfig, TrainReport, Trainer};
+use pgmr_precision::Precision;
+use pgmr_preprocess::Preprocessor;
+use pgmr_tensor::Tensor;
+
+/// One Layer-1 + Layer-2 slot: a preprocessor feeding a CNN trained on the
+/// preprocessor's view of the data.
+///
+/// The member optionally runs at reduced precision ([`Member::set_precision`]),
+/// which quantizes the weights once and every activation during inference —
+/// the RAMR execution mode.
+#[derive(Clone)]
+pub struct Member {
+    preprocessor: Preprocessor,
+    network: Network,
+    precision: Precision,
+}
+
+impl Member {
+    /// Wraps an already-trained network.
+    pub fn new(preprocessor: Preprocessor, network: Network) -> Self {
+        Member { preprocessor, network, precision: Precision::FULL }
+    }
+
+    /// Builds a fresh network from `spec` with `seed` and trains it on the
+    /// preprocessed view of `data`.
+    pub fn train(
+        preprocessor: Preprocessor,
+        spec: &ArchSpec,
+        data: &Dataset,
+        config: &TrainConfig,
+        seed: u64,
+    ) -> (Self, TrainReport) {
+        let mut network = build(spec, seed);
+        let view = data.map_images(|img| preprocessor.apply(img));
+        let report = Trainer::new(config.clone()).fit(&mut network, view.images(), view.labels());
+        (Member::new(preprocessor, network), report)
+    }
+
+    /// The member's preprocessor.
+    pub fn preprocessor(&self) -> Preprocessor {
+        self.preprocessor
+    }
+
+    /// The member's current inference precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Switches the member to reduced-precision inference, quantizing its
+    /// weights in place. Lowering precision is one-way: re-raising the
+    /// setting cannot restore the already-rounded weights, so calls with a
+    /// wider format than the current one only change the activation
+    /// rounding.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        self.network.map_params(|v| precision.quantize(v));
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the wrapped network (calibration, inspection).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Softmax probabilities for one raw image: the preprocessor is applied
+    /// first, then the (possibly quantized) forward pass.
+    pub fn predict(&mut self, image: &Tensor) -> Vec<f32> {
+        let x = self.preprocessor.apply(image);
+        let classes = self.network.num_classes();
+        let logits = if self.precision == Precision::FULL {
+            self.network.forward(&x, false)
+        } else {
+            let p = self.precision;
+            self.network
+                .forward_with_hook(&x, false, &|t: &mut Tensor| p.quantize_tensor(t))
+        };
+        debug_assert_eq!(logits.len(), classes);
+        pgmr_tensor::softmax(logits.data())
+    }
+
+    /// Probabilities for a set of raw images, one vector per image.
+    pub fn predict_all(&mut self, images: &[Tensor]) -> Vec<Vec<f32>> {
+        images.iter().map(|img| self.predict(img)).collect()
+    }
+
+    /// Accuracy of this member alone over a raw-image dataset.
+    pub fn accuracy(&mut self, data: &Dataset) -> f64 {
+        let mut correct = 0usize;
+        for (img, &label) in data.images().iter().zip(data.labels()) {
+            let probs = self.predict(img);
+            if pgmr_tensor::argmax(&probs) == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// The Layer-2 heterogeneous MR ensemble: an ordered list of members.
+pub struct Ensemble {
+    members: Vec<Member>,
+}
+
+impl Ensemble {
+    /// Creates an ensemble from its members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Member>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Ensemble { members }
+    }
+
+    /// Number of member networks (the MR degree).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, in priority order.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// Mutable access to the members.
+    pub fn members_mut(&mut self) -> &mut [Member] {
+        &mut self.members
+    }
+
+    /// Adds a member to the end of the ensemble.
+    pub fn push(&mut self, member: Member) {
+        self.members.push(member);
+    }
+
+    /// Per-member softmax vectors for one image: `out[m]` is member `m`'s
+    /// probability vector.
+    pub fn predict(&mut self, image: &Tensor) -> Vec<Vec<f32>> {
+        self.members.iter_mut().map(|m| m.predict(image)).collect()
+    }
+
+    /// Per-member probabilities over a whole image set:
+    /// `out[m][i]` is member `m`'s vector for image `i`. Experiment
+    /// harnesses precompute this once and evaluate many threshold settings
+    /// against it.
+    pub fn predict_dataset(&mut self, images: &[Tensor]) -> Vec<Vec<Vec<f32>>> {
+        self.members.iter_mut().map(|m| m.predict_all(images)).collect()
+    }
+
+    /// Switches every member to the given precision (RAMR).
+    pub fn set_precision(&mut self, precision: Precision) {
+        for m in &mut self.members {
+            m.set_precision(precision);
+        }
+    }
+
+    /// The preprocessor configuration, in member order (Table III rows).
+    pub fn configuration(&self) -> Vec<Preprocessor> {
+        self.members.iter().map(|m| m.preprocessor()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgmr_datasets::{families, Split};
+
+    fn tiny_training_setup() -> (Dataset, ArchSpec, TrainConfig) {
+        let cfg = families::synth_digits(0);
+        let data = cfg.generate(Split::Train, 120);
+        let spec = ArchSpec::convnet(1, 16, 16, 10);
+        let train = TrainConfig { epochs: 3, batch_size: 16, lr: 0.08, ..TrainConfig::default() };
+        (data, spec, train)
+    }
+
+    #[test]
+    fn trained_member_beats_chance() {
+        let (data, spec, train) = tiny_training_setup();
+        let (mut member, report) = Member::train(Preprocessor::Identity, &spec, &data, &train, 1);
+        assert!(report.final_train_accuracy > 0.3, "train acc {}", report.final_train_accuracy);
+        let cfg = families::synth_digits(0);
+        let test = cfg.generate(Split::Test, 100);
+        let acc = member.accuracy(&test);
+        assert!(acc > 0.2, "test acc {acc} not above chance (0.1)");
+    }
+
+    #[test]
+    fn member_applies_its_preprocessor() {
+        let (data, spec, train) = tiny_training_setup();
+        let (mut org, _) = Member::train(Preprocessor::Identity, &spec, &data, &train, 1);
+        let (mut flip, _) = Member::train(Preprocessor::FlipX, &spec, &data, &train, 1);
+        // Identical seeds and data stream, but the flipped member sees
+        // flipped images during both training and inference, so raw-image
+        // predictions differ.
+        let img = &data.images()[0];
+        assert_ne!(org.predict(img), flip.predict(img));
+    }
+
+    #[test]
+    fn prediction_vectors_are_distributions() {
+        let (data, spec, train) = tiny_training_setup();
+        let (mut member, _) = Member::train(Preprocessor::Gamma(2.0), &spec, &data, &train, 5);
+        for probs in member.predict_all(&data.images()[..10]) {
+            assert_eq!(probs.len(), 10);
+            assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reduced_precision_changes_predictions_slightly() {
+        let (data, spec, train) = tiny_training_setup();
+        let (mut member, _) = Member::train(Preprocessor::Identity, &spec, &data, &train, 2);
+        let img = &data.images()[0];
+        let before = member.predict(img);
+        member.set_precision(Precision::new(12));
+        let after = member.predict(img);
+        assert_ne!(before, after);
+        // But the distribution property holds.
+        assert!((after.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ensemble_predict_shapes() {
+        let (data, spec, train) = tiny_training_setup();
+        let (a, _) = Member::train(Preprocessor::Identity, &spec, &data, &train, 1);
+        let (b, _) = Member::train(Preprocessor::FlipX, &spec, &data, &train, 2);
+        let mut ens = Ensemble::new(vec![a, b]);
+        assert_eq!(ens.len(), 2);
+        let per_member = ens.predict_dataset(&data.images()[..5]);
+        assert_eq!(per_member.len(), 2);
+        assert_eq!(per_member[0].len(), 5);
+        assert_eq!(per_member[0][0].len(), 10);
+        assert_eq!(
+            ens.configuration(),
+            vec![Preprocessor::Identity, Preprocessor::FlipX]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        Ensemble::new(Vec::new());
+    }
+}

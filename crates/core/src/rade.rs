@@ -1,0 +1,331 @@
+//! RADE: the resource-aware decision engine (§III-F).
+//!
+//! Instead of always activating every network, RADE stages activation by a
+//! *priority scheme*: networks are ranked by how often each supplied a
+//! correct label during profiling, the top `Thr_Freq` run first, and
+//! further networks are activated one at a time only while the verdict is
+//! still undetermined. Two early exits apply:
+//!
+//! * **early reliable** — some class has already collected `Thr_Freq`
+//!   surviving votes;
+//! * **early unreliable** — even if every remaining network voted for the
+//!   current leader, it could not reach `Thr_Freq`.
+//!
+//! RADE is an approximation of the full engine (it never sees votes it did
+//! not activate), which is exactly the paper's trade-off: Fig. 10 reports a
+//! modest FP increase in exchange for the large energy/latency cut.
+
+use crate::decision::{Thresholds, Verdict};
+use pgmr_tensor::argmax;
+use serde::{Deserialize, Serialize};
+
+/// The staged, priority-ordered decision engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedEngine {
+    priority: Vec<usize>,
+    thresholds: Thresholds,
+}
+
+/// A staged decision plus its activation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagedDecision {
+    /// The verdict RADE emitted.
+    pub verdict: Verdict,
+    /// How many networks were activated to reach it.
+    pub activated: usize,
+}
+
+impl StagedEngine {
+    /// Creates an engine with an explicit priority order (member indices,
+    /// highest priority first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the priority list is empty, contains duplicates or
+    /// out-of-range indices, or `Thr_Freq` exceeds the member count.
+    pub fn new(priority: Vec<usize>, thresholds: Thresholds) -> Self {
+        assert!(!priority.is_empty(), "priority order cannot be empty");
+        let n = priority.len();
+        let mut seen = vec![false; n];
+        for &i in &priority {
+            assert!(i < n, "priority index {i} out of range for {n} members");
+            assert!(!seen[i], "duplicate priority index {i}");
+            seen[i] = true;
+        }
+        assert!(
+            thresholds.freq <= n,
+            "Thr_Freq {} exceeds member count {n}",
+            thresholds.freq
+        );
+        StagedEngine { priority, thresholds }
+    }
+
+    /// Builds the priority order from per-member correct-label frequencies
+    /// measured during profiling (§III-F): higher contribution runs first.
+    pub fn from_contributions(contributions: &[f64], thresholds: Thresholds) -> Self {
+        assert!(!contributions.is_empty(), "need at least one contribution");
+        let mut order: Vec<usize> = (0..contributions.len()).collect();
+        order.sort_by(|&a, &b| {
+            contributions[b]
+                .partial_cmp(&contributions[a])
+                .expect("finite contributions")
+                .then(a.cmp(&b))
+        });
+        StagedEngine::new(order, thresholds)
+    }
+
+    /// The activation order (member indices).
+    pub fn priority(&self) -> &[usize] {
+        &self.priority
+    }
+
+    /// The engine's thresholds.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// Runs the staged protocol against precomputed per-member probability
+    /// vectors for one input (`member_probs[m]` = member `m`'s softmax).
+    /// Only members the protocol activates are read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member_probs.len()` differs from the engine's member
+    /// count.
+    pub fn decide(&self, member_probs: &[Vec<f32>]) -> StagedDecision {
+        self.decide_with(|m| member_probs[m].clone(), member_probs.len())
+    }
+
+    /// Runs the staged protocol with a lazy per-member prediction provider
+    /// — in deployment each call triggers one network inference, so the
+    /// returned `activated` count is exactly the energy spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_members` differs from the engine's member count.
+    pub fn decide_with(
+        &self,
+        mut predict: impl FnMut(usize) -> Vec<f32>,
+        n_members: usize,
+    ) -> StagedDecision {
+        assert_eq!(
+            n_members,
+            self.priority.len(),
+            "member count mismatch with priority order"
+        );
+        let freq = self.thresholds.freq;
+        let mut histogram: Vec<(usize, usize)> = Vec::new();
+        let mut activated = 0usize;
+
+        for (round, &member) in self.priority.iter().enumerate() {
+            let probs = predict(member);
+            activated += 1;
+            let class = argmax(&probs);
+            if probs[class] >= self.thresholds.conf {
+                match histogram.iter_mut().find(|(c, _)| *c == class) {
+                    Some((_, count)) => *count += 1,
+                    None => histogram.push((class, 1)),
+                }
+            }
+
+            let best = histogram.iter().map(|&(_, c)| c).max().unwrap_or(0);
+            // Early unreliable: even if every remaining network voted for
+            // the current leader it could not reach Thr_Freq. This can
+            // trigger mid-batch (e.g. a low-confidence vote was discarded),
+            // which is RADE's "early detection of unreliable answers".
+            let remaining = self.priority.len() - (round + 1);
+            if best + remaining < freq {
+                break;
+            }
+            // Otherwise don't emit a positive verdict before the first
+            // batch of Thr_Freq networks has run — the paper executes the
+            // top Thr_Freq first.
+            if round + 1 < freq {
+                continue;
+            }
+            // Early reliable: the leader already meets Thr_Freq and no
+            // other class ties it.
+            if best >= freq {
+                let leaders: Vec<usize> = histogram
+                    .iter()
+                    .filter(|&&(_, c)| c == best)
+                    .map(|&(c, _)| c)
+                    .collect();
+                if leaders.len() == 1 {
+                    return StagedDecision {
+                        verdict: Verdict::Reliable { class: leaders[0], votes: best },
+                        activated,
+                    };
+                }
+            }
+        }
+
+        // Exhausted (or provably hopeless): final plurality with the
+        // accumulated votes, mirroring the full engine's rules.
+        if histogram.is_empty() {
+            return StagedDecision {
+                verdict: Verdict::Unreliable { class: None, votes: 0 },
+                activated,
+            };
+        }
+        let best = histogram.iter().map(|&(_, c)| c).max().expect("non-empty");
+        let mut leaders: Vec<usize> = histogram
+            .iter()
+            .filter(|&&(_, c)| c == best)
+            .map(|&(c, _)| c)
+            .collect();
+        leaders.sort_unstable();
+        let class = leaders[0];
+        let verdict = if leaders.len() == 1 && best >= freq {
+            Verdict::Reliable { class, votes: best }
+        } else {
+            Verdict::Unreliable { class: Some(class), votes: best }
+        };
+        StagedDecision { verdict, activated }
+    }
+}
+
+/// Measures each member's contribution — the fraction of profiling samples
+/// it labels correctly — from precomputed probabilities.
+///
+/// # Panics
+///
+/// Panics if any member's sample count differs from `labels.len()`.
+pub fn contributions(member_probs: &[Vec<Vec<f32>>], labels: &[usize]) -> Vec<f64> {
+    member_probs
+        .iter()
+        .map(|probs| {
+            assert_eq!(probs.len(), labels.len(), "probs/label count mismatch");
+            let correct = probs
+                .iter()
+                .zip(labels)
+                .filter(|(p, &l)| argmax(p) == l)
+                .count();
+            correct as f64 / labels.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onehot(class: usize, n: usize, conf: f32) -> Vec<f32> {
+        let mut v = vec![(1.0 - conf) / (n as f32 - 1.0); n];
+        v[class] = conf;
+        v
+    }
+
+    #[test]
+    fn early_exit_when_first_batch_agrees() {
+        let engine = StagedEngine::new(vec![0, 1, 2, 3], Thresholds::new(0.5, 2));
+        let probs = vec![
+            onehot(1, 4, 0.9),
+            onehot(1, 4, 0.9),
+            onehot(2, 4, 0.9), // never read
+            onehot(3, 4, 0.9), // never read
+        ];
+        let d = engine.decide(&probs);
+        assert_eq!(d.verdict, Verdict::Reliable { class: 1, votes: 2 });
+        assert_eq!(d.activated, 2);
+    }
+
+    #[test]
+    fn disagreement_activates_more_networks() {
+        let engine = StagedEngine::new(vec![0, 1, 2, 3], Thresholds::new(0.5, 2));
+        let probs = vec![
+            onehot(1, 4, 0.9),
+            onehot(2, 4, 0.9),
+            onehot(1, 4, 0.9), // tips class 1 to 2 votes
+            onehot(3, 4, 0.9),
+        ];
+        let d = engine.decide(&probs);
+        assert_eq!(d.verdict, Verdict::Reliable { class: 1, votes: 2 });
+        assert_eq!(d.activated, 3);
+    }
+
+    #[test]
+    fn early_unreliable_when_threshold_unreachable() {
+        let engine = StagedEngine::new(vec![0, 1, 2], Thresholds::new(0.99, 3));
+        // No vote survives the 0.99 confidence bar; after 1st network the
+        // best class has 0 votes and 2 remaining < 3 → early break after
+        // the first round where best+remaining < freq.
+        let probs = vec![onehot(0, 4, 0.6), onehot(1, 4, 0.6), onehot(2, 4, 0.6)];
+        let d = engine.decide(&probs);
+        assert!(!d.verdict.is_reliable());
+        assert!(d.activated < 3, "should stop early, activated {}", d.activated);
+    }
+
+    #[test]
+    fn lazy_provider_only_called_for_activated_members() {
+        let engine = StagedEngine::new(vec![2, 0, 1], Thresholds::new(0.5, 2));
+        let mut calls = Vec::new();
+        let d = engine.decide_with(
+            |m| {
+                calls.push(m);
+                onehot(0, 3, 0.9)
+            },
+            3,
+        );
+        assert_eq!(d.verdict, Verdict::Reliable { class: 0, votes: 2 });
+        assert_eq!(calls, vec![2, 0], "priority order respected, third member skipped");
+    }
+
+    #[test]
+    fn contributions_rank_members() {
+        let good = vec![onehot(0, 2, 0.9), onehot(1, 2, 0.9)];
+        let bad = vec![onehot(1, 2, 0.9), onehot(1, 2, 0.9)];
+        let c = contributions(&[bad.clone(), good.clone()], &[0, 1]);
+        assert_eq!(c, vec![0.5, 1.0]);
+        let engine = StagedEngine::from_contributions(&c, Thresholds::new(0.5, 1));
+        assert_eq!(engine.priority(), &[1, 0]);
+    }
+
+    #[test]
+    fn matches_full_engine_when_all_activated() {
+        use crate::decision::DecisionEngine;
+        // When RADE runs every member (no early exit possible because the
+        // last vote decides), its verdict equals the full engine's.
+        let thresholds = Thresholds::new(0.5, 3);
+        let engine = StagedEngine::new(vec![0, 1, 2, 3], thresholds);
+        let probs = vec![
+            onehot(1, 4, 0.9),
+            onehot(2, 4, 0.9),
+            onehot(1, 4, 0.9),
+            onehot(1, 4, 0.9),
+        ];
+        let staged = engine.decide(&probs);
+        let full = DecisionEngine::new(thresholds).decide(&probs);
+        assert_eq!(staged.verdict, full);
+        assert_eq!(staged.activated, 4);
+    }
+
+    #[test]
+    fn reliable_staged_verdicts_have_enough_votes() {
+        let engine = StagedEngine::new(vec![0, 1, 2], Thresholds::new(0.6, 2));
+        let cases = vec![
+            vec![onehot(0, 3, 0.9), onehot(0, 3, 0.9), onehot(1, 3, 0.9)],
+            vec![onehot(0, 3, 0.9), onehot(1, 3, 0.9), onehot(1, 3, 0.9)],
+            vec![onehot(2, 3, 0.5), onehot(1, 3, 0.9), onehot(1, 3, 0.9)],
+        ];
+        for probs in cases {
+            let d = engine.decide(&probs);
+            if let Verdict::Reliable { votes, .. } = d.verdict {
+                assert!(votes >= 2);
+            }
+            assert!(d.activated >= engine.thresholds().freq.min(3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate priority")]
+    fn rejects_duplicate_priorities() {
+        StagedEngine::new(vec![0, 0], Thresholds::new(0.5, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds member count")]
+    fn rejects_oversized_freq() {
+        StagedEngine::new(vec![0, 1], Thresholds::new(0.5, 3));
+    }
+}

@@ -1,0 +1,195 @@
+//! Streaming reliability monitoring for deployed systems.
+//!
+//! The paper motivates PolygraphMR with mission-critical, *streaming*
+//! workloads (pedestrian identification, steering-command generation). In
+//! deployment, the per-input verdicts carry a second, aggregate signal: a
+//! sustained spike in the unreliable-rate means the input distribution has
+//! drifted away from what the ensemble was trained on (fog on the
+//! windshield, a sensor failing) and the vehicle should degrade to a safe
+//! mode. [`ReliabilityMonitor`] tracks the flag rate over a sliding window
+//! and raises an alarm when it crosses a threshold calibrated from the
+//! validation flag rate.
+
+use crate::decision::Verdict;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Health of the prediction stream, as judged by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamHealth {
+    /// Not enough samples in the window yet.
+    WarmingUp,
+    /// Flag rate is within the calibrated band.
+    Healthy,
+    /// Flag rate crossed the alarm threshold — the input distribution
+    /// likely drifted; downstream logic should degrade safely.
+    Degraded,
+}
+
+/// Sliding-window monitor over reliability verdicts.
+///
+/// # Example
+///
+/// ```
+/// use polygraph_mr::stream::{ReliabilityMonitor, StreamHealth};
+/// use polygraph_mr::Verdict;
+///
+/// let mut monitor = ReliabilityMonitor::new(4, 0.5);
+/// for _ in 0..4 {
+///     monitor.observe(&Verdict::Reliable { class: 0, votes: 3 });
+/// }
+/// assert_eq!(monitor.health(), StreamHealth::Healthy);
+/// for _ in 0..4 {
+///     monitor.observe(&Verdict::Unreliable { class: None, votes: 0 });
+/// }
+/// assert_eq!(monitor.health(), StreamHealth::Degraded);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReliabilityMonitor {
+    window: VecDeque<bool>, // true = flagged unreliable
+    capacity: usize,
+    alarm_rate: f64,
+    total_seen: u64,
+    total_flagged: u64,
+}
+
+impl ReliabilityMonitor {
+    /// Creates a monitor over the last `window` verdicts that alarms when
+    /// the windowed flag rate reaches `alarm_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `alarm_rate` is outside `(0, 1]`.
+    pub fn new(window: usize, alarm_rate: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(
+            alarm_rate > 0.0 && alarm_rate <= 1.0,
+            "alarm rate must be in (0, 1], got {alarm_rate}"
+        );
+        ReliabilityMonitor {
+            window: VecDeque::with_capacity(window),
+            capacity: window,
+            alarm_rate,
+            total_seen: 0,
+            total_flagged: 0,
+        }
+    }
+
+    /// Calibrates the alarm threshold from an expected (validation-time)
+    /// flag rate with a multiplicative margin: `alarm = expected * margin`,
+    /// clamped to `(0, 1]`. A margin of 3 alarms when the stream flags 3×
+    /// more often than validation did.
+    pub fn calibrated(window: usize, expected_flag_rate: f64, margin: f64) -> Self {
+        let rate = (expected_flag_rate * margin).clamp(1e-6, 1.0);
+        ReliabilityMonitor::new(window, rate)
+    }
+
+    /// Feeds one verdict; returns the updated health.
+    pub fn observe(&mut self, verdict: &Verdict) -> StreamHealth {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(!verdict.is_reliable());
+        self.total_seen += 1;
+        if !verdict.is_reliable() {
+            self.total_flagged += 1;
+        }
+        self.health()
+    }
+
+    /// Flag rate over the current window.
+    pub fn windowed_flag_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().filter(|&&f| f).count() as f64 / self.window.len() as f64
+    }
+
+    /// Lifetime flag rate over everything observed.
+    pub fn lifetime_flag_rate(&self) -> f64 {
+        if self.total_seen == 0 {
+            return 0.0;
+        }
+        self.total_flagged as f64 / self.total_seen as f64
+    }
+
+    /// Current health. `WarmingUp` until the window fills once.
+    pub fn health(&self) -> StreamHealth {
+        if self.window.len() < self.capacity {
+            StreamHealth::WarmingUp
+        } else if self.windowed_flag_rate() >= self.alarm_rate {
+            StreamHealth::Degraded
+        } else {
+            StreamHealth::Healthy
+        }
+    }
+
+    /// Total verdicts observed.
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reliable() -> Verdict {
+        Verdict::Reliable { class: 1, votes: 3 }
+    }
+
+    fn flagged() -> Verdict {
+        Verdict::Unreliable { class: Some(1), votes: 1 }
+    }
+
+    #[test]
+    fn warms_up_then_reports_health() {
+        let mut m = ReliabilityMonitor::new(3, 0.5);
+        assert_eq!(m.observe(&reliable()), StreamHealth::WarmingUp);
+        assert_eq!(m.observe(&reliable()), StreamHealth::WarmingUp);
+        assert_eq!(m.observe(&reliable()), StreamHealth::Healthy);
+    }
+
+    #[test]
+    fn alarm_fires_on_flag_burst_and_recovers() {
+        let mut m = ReliabilityMonitor::new(4, 0.5);
+        for _ in 0..4 {
+            m.observe(&reliable());
+        }
+        assert_eq!(m.health(), StreamHealth::Healthy);
+        m.observe(&flagged());
+        m.observe(&flagged());
+        assert_eq!(m.health(), StreamHealth::Degraded);
+        // Window slides back to healthy as reliable verdicts return.
+        for _ in 0..4 {
+            m.observe(&reliable());
+        }
+        assert_eq!(m.health(), StreamHealth::Healthy);
+    }
+
+    #[test]
+    fn rates_are_tracked() {
+        let mut m = ReliabilityMonitor::new(2, 0.9);
+        m.observe(&flagged());
+        m.observe(&reliable());
+        m.observe(&reliable());
+        assert_eq!(m.total_seen(), 3);
+        assert!((m.lifetime_flag_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.windowed_flag_rate(), 0.0);
+    }
+
+    #[test]
+    fn calibration_scales_validation_rate() {
+        let m = ReliabilityMonitor::calibrated(10, 0.1, 3.0);
+        assert!((m.alarm_rate - 0.3).abs() < 1e-12);
+        // Extreme margins clamp into (0, 1].
+        let clamped = ReliabilityMonitor::calibrated(10, 0.9, 5.0);
+        assert!(clamped.alarm_rate <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_zero_window() {
+        ReliabilityMonitor::new(0, 0.5);
+    }
+}

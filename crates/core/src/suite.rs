@@ -1,0 +1,519 @@
+//! The six-benchmark evaluation suite (paper Table II), bound to this
+//! repository's synthetic datasets and model zoo, plus a disk cache for
+//! trained members so harnesses don't retrain on every run.
+//!
+//! | Paper row | Suite benchmark | Dataset family | Zoo arch |
+//! |---|---|---|---|
+//! | MNIST / LeNet-5 (99.01%) | [`Benchmark::lenet5_digits`] | synth-digits | lenet5 |
+//! | CIFAR10 / ConvNet (74.70%) | [`Benchmark::convnet_objects`] | synth-objects | convnet |
+//! | CIFAR10 / ResNet20 (91.50%) | [`Benchmark::resnet20_objects`] | synth-objects | resnet20_mini |
+//! | CIFAR10 / DenseNet40 (93.07%) | [`Benchmark::densenet_objects`] | synth-objects | densenet_mini |
+//! | ImageNet / AlexNet (57.40%) | [`Benchmark::alexnet_scenes`] | synth-scenes | alexnet_mini |
+//! | ImageNet / ResNet34 (71.46%) | [`Benchmark::resnet34_scenes`] | synth-scenes | resnet34_mini |
+
+use crate::ensemble::Member;
+use pgmr_datasets::{families, Dataset, DatasetConfig, Split};
+use pgmr_nn::serialize::{decode_params, encode_params};
+use pgmr_nn::zoo::ArchSpec;
+use pgmr_nn::TrainConfig;
+use pgmr_preprocess::Preprocessor;
+use std::path::PathBuf;
+
+/// Experiment scale. Controls dataset sizes and training epochs so the
+/// same code drives fast tests (`Tiny`), the default harness runs
+/// (`Small`), and extended runs (`Full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// A few hundred samples, 2 epochs — for tests and doc examples.
+    Tiny,
+    /// The default harness scale: everything trains in minutes on one core.
+    Small,
+    /// Double the data and epochs of `Small`.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `PGMR_SCALE` environment variable
+    /// (`tiny`/`small`/`full`), defaulting to `Small`.
+    pub fn from_env() -> Scale {
+        match std::env::var("PGMR_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "full" => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.2,
+            Scale::Small => 1.0,
+            Scale::Full => 2.0,
+        }
+    }
+
+    fn epochs(self, small_epochs: usize) -> usize {
+        match self {
+            Scale::Tiny => 2,
+            Scale::Small => small_epochs,
+            Scale::Full => small_epochs * 2,
+        }
+    }
+
+    /// Short stable name used in cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// One row of the evaluation suite: a dataset, an architecture, a training
+/// recipe, and the paper-side numbers it stands in for.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short stable benchmark id, e.g. `"lenet5-digits"`.
+    pub id: &'static str,
+    /// The paper's dataset this stands in for.
+    pub paper_dataset: &'static str,
+    /// The paper's network this stands in for.
+    pub paper_network: &'static str,
+    /// The paper's reported baseline accuracy (Table II).
+    pub paper_accuracy: f64,
+    /// Synthetic dataset configuration.
+    pub dataset: DatasetConfig,
+    /// Zoo architecture.
+    pub arch: ArchSpec,
+    /// Training recipe.
+    pub train_config: TrainConfig,
+    /// Training-set size.
+    pub train_count: usize,
+    /// Validation-set size (threshold profiling).
+    pub val_count: usize,
+    /// Test-set size (all reported metrics).
+    pub test_count: usize,
+    /// The scale this benchmark was instantiated at.
+    pub scale: Scale,
+}
+
+impl Benchmark {
+    fn sized(scale: Scale, base_train: usize, base_val: usize, base_test: usize) -> (usize, usize, usize) {
+        let f = scale.factor();
+        (
+            ((base_train as f64 * f) as usize).max(100),
+            ((base_val as f64 * f) as usize).max(60),
+            ((base_test as f64 * f) as usize).max(60),
+        )
+    }
+
+    /// MNIST / LeNet-5 analog.
+    pub fn lenet5_digits(scale: Scale) -> Benchmark {
+        let (train_count, val_count, test_count) = Self::sized(scale, 900, 500, 800);
+        Benchmark {
+            id: "lenet5-digits",
+            paper_dataset: "MNIST",
+            paper_network: "LeNet-5",
+            paper_accuracy: 0.9901,
+            dataset: families::synth_digits(101),
+            arch: ArchSpec::lenet5(1, 16, 16, 10),
+            train_config: TrainConfig {
+                epochs: scale.epochs(8),
+                batch_size: 32,
+                lr: 0.08,
+                ..TrainConfig::default()
+            },
+            train_count,
+            val_count,
+            test_count,
+            scale,
+        }
+    }
+
+    /// CIFAR-10 / ConvNet analog.
+    pub fn convnet_objects(scale: Scale) -> Benchmark {
+        let (train_count, val_count, test_count) = Self::sized(scale, 800, 400, 500);
+        Benchmark {
+            id: "convnet-objects",
+            paper_dataset: "CIFAR10",
+            paper_network: "ConvNet",
+            paper_accuracy: 0.7470,
+            dataset: families::synth_objects(202),
+            arch: ArchSpec::convnet(3, 20, 20, 10),
+            train_config: TrainConfig {
+                epochs: scale.epochs(6),
+                batch_size: 32,
+                lr: 0.06,
+                ..TrainConfig::default()
+            },
+            train_count,
+            val_count,
+            test_count,
+            scale,
+        }
+    }
+
+    /// CIFAR-10 / ResNet20 analog.
+    pub fn resnet20_objects(scale: Scale) -> Benchmark {
+        let (train_count, val_count, test_count) = Self::sized(scale, 1300, 400, 500);
+        Benchmark {
+            id: "resnet20-objects",
+            paper_dataset: "CIFAR10",
+            paper_network: "ResNet20",
+            paper_accuracy: 0.9150,
+            dataset: families::synth_objects(202),
+            arch: ArchSpec::resnet20_mini(3, 20, 20, 10),
+            train_config: TrainConfig {
+                epochs: scale.epochs(8),
+                batch_size: 32,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+            train_count,
+            val_count,
+            test_count,
+            scale,
+        }
+    }
+
+    /// CIFAR-10 / DenseNet40 analog.
+    pub fn densenet_objects(scale: Scale) -> Benchmark {
+        let (train_count, val_count, test_count) = Self::sized(scale, 1300, 400, 500);
+        Benchmark {
+            id: "densenet-objects",
+            paper_dataset: "CIFAR10",
+            paper_network: "DenseNet40",
+            paper_accuracy: 0.9307,
+            dataset: families::synth_objects(202),
+            arch: ArchSpec::densenet_mini(3, 20, 20, 10),
+            train_config: TrainConfig {
+                epochs: scale.epochs(8),
+                batch_size: 32,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+            train_count,
+            val_count,
+            test_count,
+            scale,
+        }
+    }
+
+    /// ImageNet / AlexNet analog.
+    pub fn alexnet_scenes(scale: Scale) -> Benchmark {
+        let (train_count, val_count, test_count) = Self::sized(scale, 1100, 500, 600);
+        Benchmark {
+            id: "alexnet-scenes",
+            paper_dataset: "ImageNet",
+            paper_network: "AlexNet",
+            paper_accuracy: 0.5740,
+            dataset: families::synth_scenes(303),
+            arch: ArchSpec::alexnet_mini(3, 24, 24, 20),
+            train_config: TrainConfig {
+                epochs: scale.epochs(8),
+                batch_size: 32,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+            train_count,
+            val_count,
+            test_count,
+            scale,
+        }
+    }
+
+    /// ImageNet / ResNet34 analog.
+    pub fn resnet34_scenes(scale: Scale) -> Benchmark {
+        let (train_count, val_count, test_count) = Self::sized(scale, 1100, 500, 600);
+        Benchmark {
+            id: "resnet34-scenes",
+            paper_dataset: "ImageNet",
+            paper_network: "ResNet34",
+            paper_accuracy: 0.7146,
+            dataset: families::synth_scenes(303),
+            arch: ArchSpec::resnet34_mini(3, 24, 24, 20),
+            train_config: TrainConfig {
+                epochs: scale.epochs(6),
+                batch_size: 32,
+                lr: 0.05,
+                ..TrainConfig::default()
+            },
+            train_count,
+            val_count,
+            test_count,
+            scale,
+        }
+    }
+
+    /// Builds a Fig. 1-style ImageNet-analog benchmark: a given architecture
+    /// on the scenes dataset with the scenes training recipe.
+    fn imagenet_analog(
+        scale: Scale,
+        id: &'static str,
+        paper_network: &'static str,
+        paper_accuracy: f64,
+        arch: ArchSpec,
+        small_epochs: usize,
+        lr: f32,
+    ) -> Benchmark {
+        let (train_count, val_count, test_count) = Self::sized(scale, 1100, 500, 600);
+        Benchmark {
+            id,
+            paper_dataset: "ImageNet",
+            paper_network,
+            paper_accuracy,
+            dataset: families::synth_scenes(303),
+            arch,
+            train_config: TrainConfig {
+                epochs: scale.epochs(small_epochs),
+                batch_size: 32,
+                lr,
+                ..TrainConfig::default()
+            },
+            train_count,
+            val_count,
+            test_count,
+            scale,
+        }
+    }
+
+    /// The six ImageNet-class networks of the paper's Fig. 1 (AlexNet,
+    /// VGG16, GoogLeNet, ResNet152, Inception-V3, ResNeXt101 — paper top-1
+    /// accuracies 57.4/71.6/69.8/78.3/77.5/79.3%), as scenes-dataset
+    /// analogs of ascending capacity.
+    pub fn imagenet_six(scale: Scale) -> Vec<Benchmark> {
+        vec![
+            Benchmark::alexnet_scenes(scale),
+            // VGG has no normalization layers, so it needs a gentler
+            // learning rate and a longer schedule than the BN networks.
+            Self::imagenet_analog(scale, "vgg16-scenes", "VGG16", 0.716,
+                ArchSpec::vgg_mini(3, 24, 24, 20), 10, 0.02),
+            Self::imagenet_analog(scale, "googlenet-scenes", "GoogleNet", 0.698,
+                ArchSpec::googlenet_mini(3, 24, 24, 20), 6, 0.05),
+            Self::imagenet_analog(scale, "resnet152-scenes", "ResNet_152", 0.783,
+                ArchSpec::resnet152_mini(3, 24, 24, 20), 6, 0.05),
+            Self::imagenet_analog(scale, "inception-scenes", "Inception_V3", 0.775,
+                ArchSpec::inception_mini(3, 24, 24, 20), 6, 0.05),
+            Self::imagenet_analog(scale, "resnext-scenes", "ResNeXt_101", 0.793,
+                ArchSpec::resnext_mini(3, 24, 24, 20), 6, 0.05),
+        ]
+    }
+
+    /// All six benchmarks in Table II order.
+    pub fn all(scale: Scale) -> Vec<Benchmark> {
+        vec![
+            Benchmark::lenet5_digits(scale),
+            Benchmark::convnet_objects(scale),
+            Benchmark::resnet20_objects(scale),
+            Benchmark::densenet_objects(scale),
+            Benchmark::alexnet_scenes(scale),
+            Benchmark::resnet34_scenes(scale),
+        ]
+    }
+
+    /// Generates the split at the benchmark's configured size.
+    pub fn data(&self, split: Split) -> Dataset {
+        let count = match split {
+            Split::Train => self.train_count,
+            Split::Val => self.val_count,
+            Split::Test => self.test_count,
+        };
+        self.dataset.generate(split, count)
+    }
+
+    /// Trains (or loads from the disk cache) a member with the given
+    /// preprocessor and weight seed.
+    ///
+    /// The cache key covers everything that affects the weights: benchmark
+    /// id, scale, architecture, preprocessor, seed, and training recipe.
+    /// Set `PGMR_NO_CACHE=1` to force retraining.
+    pub fn member(&self, preprocessor: Preprocessor, seed: u64) -> Member {
+        // The fingerprint covers every remaining input that shapes the
+        // weights (dataset knobs, learning-rate schedule), so tuning any of
+        // them invalidates stale cache entries.
+        let fingerprint = {
+            let repr = format!("{:?}|{:?}", self.dataset, self.train_config);
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in repr.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h
+        };
+        let key = format!(
+            "{}-{}-{}-{}-s{}-e{}-n{}-f{:016x}",
+            self.id,
+            self.scale.name(),
+            self.arch.arch_id(),
+            preprocessor.name().replace(['(', ')', '%', '.'], "_"),
+            seed,
+            self.train_config.epochs,
+            self.train_count,
+            fingerprint,
+        );
+        let cache_enabled = std::env::var("PGMR_NO_CACHE").is_err();
+        let path = cache_path(&key);
+        if cache_enabled {
+            if let Ok(blob) = std::fs::read(&path) {
+                let mut net = pgmr_nn::zoo::build(&self.arch, seed);
+                if decode_params(&mut net, &blob).is_ok() {
+                    return Member::new(preprocessor, net);
+                }
+            }
+        }
+        let train = self.data(Split::Train);
+        let (mut member, _) = Member::train(preprocessor, &self.arch, &train, &self.train_config, seed);
+        if cache_enabled {
+            let blob = encode_params(member.network_mut());
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(&path, blob);
+        }
+        member
+    }
+}
+
+/// Where trained-member blobs are cached. Override with `PGMR_CACHE_DIR`;
+/// defaults to `<workspace>/target/pgmr-model-cache` (falling back to the
+/// OS temp dir when `CARGO_MANIFEST_DIR` is unavailable).
+pub fn cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("PGMR_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let base = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // The manifest dir of whichever crate is running; hop to its
+            // workspace target dir heuristically.
+            std::env::var("CARGO_MANIFEST_DIR")
+                .map(|m| {
+                    let mut p = PathBuf::from(m);
+                    // crates/<name> → workspace root
+                    if p.ends_with("core") || p.parent().map(|q| q.ends_with("crates")).unwrap_or(false) {
+                        p.pop();
+                        p.pop();
+                    }
+                    p.join("target")
+                })
+                .unwrap_or_else(|_| std::env::temp_dir())
+        });
+    base.join("pgmr-model-cache")
+}
+
+fn cache_path(key: &str) -> PathBuf {
+    cache_dir().join(format!("{key}.pgmr"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_benchmarks_in_table2_order() {
+        let all = Benchmark::all(Scale::Tiny);
+        let ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "lenet5-digits",
+                "convnet-objects",
+                "resnet20-objects",
+                "densenet-objects",
+                "alexnet-scenes",
+                "resnet34-scenes"
+            ]
+        );
+        // Paper accuracies match Table II.
+        let accs: Vec<f64> = all.iter().map(|b| b.paper_accuracy).collect();
+        assert_eq!(accs, vec![0.9901, 0.7470, 0.9150, 0.9307, 0.5740, 0.7146]);
+    }
+
+    #[test]
+    fn imagenet_six_matches_fig1_network_set() {
+        let six = Benchmark::imagenet_six(Scale::Tiny);
+        let names: Vec<&str> = six.iter().map(|b| b.paper_network).collect();
+        assert_eq!(
+            names,
+            vec!["AlexNet", "VGG16", "GoogleNet", "ResNet_152", "Inception_V3", "ResNeXt_101"]
+        );
+        // All share the scenes dataset, so their error distributions are
+        // comparable (the Fig. 1 normalization requirement).
+        for b in &six {
+            assert_eq!(b.dataset, six[0].dataset);
+        }
+        // Paper accuracies ascend from AlexNet to the modern networks.
+        assert!(six[0].paper_accuracy < six[1].paper_accuracy);
+        assert!(six[3].paper_accuracy > six[2].paper_accuracy);
+    }
+
+    #[test]
+    fn shared_dataset_benchmarks_use_identical_configs() {
+        let convnet = Benchmark::convnet_objects(Scale::Tiny);
+        let resnet = Benchmark::resnet20_objects(Scale::Tiny);
+        assert_eq!(convnet.dataset, resnet.dataset, "same CIFAR analog for both");
+    }
+
+    #[test]
+    fn scale_controls_counts_and_epochs() {
+        let tiny = Benchmark::convnet_objects(Scale::Tiny);
+        let small = Benchmark::convnet_objects(Scale::Small);
+        let full = Benchmark::convnet_objects(Scale::Full);
+        assert!(tiny.train_count < small.train_count);
+        assert!(small.train_count < full.train_count);
+        assert!(tiny.train_config.epochs < small.train_config.epochs);
+        assert_eq!(full.train_config.epochs, small.train_config.epochs * 2);
+    }
+
+    #[test]
+    fn data_respects_split_sizes() {
+        let b = Benchmark::lenet5_digits(Scale::Tiny);
+        assert_eq!(b.data(Split::Train).len(), b.train_count);
+        assert_eq!(b.data(Split::Val).len(), b.val_count);
+        assert_eq!(b.data(Split::Test).len(), b.test_count);
+    }
+
+    /// Serializes the env-var-mutating cache tests.
+    static CACHE_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn cache_key_tracks_config_changes() {
+        let _guard = CACHE_ENV_LOCK.lock().unwrap();
+        // Changing anything that shapes the weights — dataset knobs or the
+        // training recipe — must change the cache key, or a tuned config
+        // would silently load stale models (a bug class this suite hit
+        // during development).
+        let base = Benchmark::lenet5_digits(Scale::Tiny);
+        let dir = std::env::temp_dir().join(format!("pgmr-fp-cache-{}", std::process::id()));
+        std::env::set_var("PGMR_CACHE_DIR", &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = base.member(Preprocessor::Identity, 7);
+        let count_after_first = std::fs::read_dir(&dir).unwrap().count();
+
+        let mut tweaked = base.clone();
+        tweaked.dataset.noise_std += 0.01;
+        let _ = tweaked.member(Preprocessor::Identity, 7);
+        let count_after_tweak = std::fs::read_dir(&dir).unwrap().count();
+        std::env::remove_var("PGMR_CACHE_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(count_after_first, 1);
+        assert_eq!(count_after_tweak, 2, "dataset tweak must produce a new cache entry");
+    }
+
+    #[test]
+    fn member_cache_round_trips() {
+        let _guard = CACHE_ENV_LOCK.lock().unwrap();
+        let b = Benchmark::lenet5_digits(Scale::Tiny);
+        // Unique cache dir for the test.
+        let dir = std::env::temp_dir().join(format!("pgmr-test-cache-{}", std::process::id()));
+        std::env::set_var("PGMR_CACHE_DIR", &dir);
+        let mut first = b.member(Preprocessor::Identity, 42);
+        let mut second = b.member(Preprocessor::Identity, 42); // from cache
+        std::env::remove_var("PGMR_CACHE_DIR");
+        let test = b.data(Split::Test).truncated(30);
+        for (img, _) in test.images().iter().zip(test.labels()) {
+            assert_eq!(first.predict(img), second.predict(img));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,173 @@
+//! The assembled PolygraphMR system: ensemble + decision engine, with an
+//! optional staged (RADE) inference mode.
+
+use crate::decision::{DecisionEngine, Thresholds, Verdict};
+use crate::ensemble::Ensemble;
+use crate::rade::{StagedDecision, StagedEngine};
+use pgmr_datasets::Dataset;
+use pgmr_metrics::RateSummary;
+use pgmr_tensor::Tensor;
+
+/// A deployable PolygraphMR system (Fig. 4): Layer-1 preprocessors and
+/// Layer-2 networks inside the [`Ensemble`], Layer-3 thresholds fixed by
+/// offline profiling.
+pub struct PolygraphSystem {
+    ensemble: Ensemble,
+    thresholds: Thresholds,
+    staged: Option<StagedEngine>,
+}
+
+impl PolygraphSystem {
+    /// Assembles a system from a trained ensemble and profiled thresholds.
+    pub fn new(ensemble: Ensemble, thresholds: Thresholds) -> Self {
+        PolygraphSystem { ensemble, thresholds, staged: None }
+    }
+
+    /// The system's thresholds.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// Replaces the thresholds (re-selection from a stored Pareto frontier
+    /// when user demands change, §III-E).
+    pub fn set_thresholds(&mut self, thresholds: Thresholds) {
+        self.thresholds = thresholds;
+        if let Some(staged) = &self.staged {
+            self.staged = Some(StagedEngine::new(staged.priority().to_vec(), thresholds));
+        }
+    }
+
+    /// The underlying ensemble.
+    pub fn ensemble(&self) -> &Ensemble {
+        &self.ensemble
+    }
+
+    /// Mutable access to the ensemble (RAMR precision switches).
+    pub fn ensemble_mut(&mut self) -> &mut Ensemble {
+        &mut self.ensemble
+    }
+
+    /// Enables RADE with the given activation priority (member indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the priority is invalid for this ensemble.
+    pub fn enable_staged(&mut self, priority: Vec<usize>) {
+        assert_eq!(priority.len(), self.ensemble.len(), "priority must cover every member");
+        self.staged = Some(StagedEngine::new(priority, self.thresholds));
+    }
+
+    /// Disables RADE; `infer` activates every member again.
+    pub fn disable_staged(&mut self) {
+        self.staged = None;
+    }
+
+    /// True when RADE staged activation is enabled.
+    pub fn is_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Classifies one raw image, returning the reliability verdict. In
+    /// staged mode only as many member networks run as the input requires.
+    pub fn infer(&mut self, image: &Tensor) -> Verdict {
+        self.infer_counted(image).verdict
+    }
+
+    /// Like [`PolygraphSystem::infer`] but also reports how many member
+    /// networks were activated (always the full count without RADE).
+    pub fn infer_counted(&mut self, image: &Tensor) -> StagedDecision {
+        match &self.staged {
+            Some(staged) => {
+                let members = self.ensemble.members_mut();
+                let n = members.len();
+                // Split borrow: the closure indexes members directly.
+                let mut predict = |m: usize| members[m].predict(image);
+                staged.decide_with(&mut predict, n)
+            }
+            None => {
+                let probs = self.ensemble.predict(image);
+                let verdict = DecisionEngine::new(self.thresholds).decide(&probs);
+                StagedDecision { verdict, activated: self.ensemble.len() }
+            }
+        }
+    }
+
+    /// Evaluates the system over a dataset, returning the reliability rate
+    /// summary and the per-sample activation counts (useful for RADE cost
+    /// accounting; all-members counts without RADE).
+    pub fn evaluate(&mut self, data: &Dataset) -> (RateSummary, Vec<usize>) {
+        let mut outcomes = Vec::with_capacity(data.len());
+        let mut activations = Vec::with_capacity(data.len());
+        for (img, &label) in data.images().iter().zip(data.labels()) {
+            let d = self.infer_counted(img);
+            outcomes.push(pgmr_metrics::Outcome::from_flags(
+                d.verdict.class() == Some(label),
+                d.verdict.is_reliable(),
+            ));
+            activations.push(d.activated);
+        }
+        (pgmr_metrics::summarize(&outcomes), activations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::Member;
+    use pgmr_datasets::{families, Split};
+    use pgmr_nn::zoo::ArchSpec;
+    use pgmr_nn::TrainConfig;
+    use pgmr_preprocess::Preprocessor;
+
+    fn build_system() -> (PolygraphSystem, Dataset) {
+        let cfg = families::synth_digits(0);
+        let train = cfg.generate(Split::Train, 150);
+        let test = cfg.generate(Split::Test, 60);
+        let spec = ArchSpec::convnet(1, 16, 16, 10);
+        let tc = TrainConfig { epochs: 3, batch_size: 16, lr: 0.08, ..TrainConfig::default() };
+        let (a, _) = Member::train(Preprocessor::Identity, &spec, &train, &tc, 1);
+        let (b, _) = Member::train(Preprocessor::FlipX, &spec, &train, &tc, 2);
+        let (c, _) = Member::train(Preprocessor::Gamma(2.0), &spec, &train, &tc, 3);
+        let ensemble = Ensemble::new(vec![a, b, c]);
+        (PolygraphSystem::new(ensemble, Thresholds::new(0.4, 2)), test)
+    }
+
+    #[test]
+    fn full_and_staged_agree_on_activation_bounds() {
+        let (mut system, test) = build_system();
+        let (full_summary, full_acts) = system.evaluate(&test.truncated(30));
+        assert!(full_acts.iter().all(|&a| a == 3));
+        assert!(full_summary.total == 30);
+
+        system.enable_staged(vec![0, 1, 2]);
+        assert!(system.is_staged());
+        let (_, staged_acts) = system.evaluate(&test.truncated(30));
+        assert!(staged_acts.iter().all(|&a| (2..=3).contains(&a)));
+        // Staged activation must save work on at least some inputs for a
+        // trained, mostly-agreeing ensemble.
+        assert!(staged_acts.iter().any(|&a| a == 2), "no early exits at all");
+    }
+
+    #[test]
+    fn set_thresholds_rebuilds_staged_engine() {
+        let (mut system, test) = build_system();
+        system.enable_staged(vec![2, 0, 1]);
+        system.set_thresholds(Thresholds::new(0.6, 3));
+        assert_eq!(system.thresholds().freq, 3);
+        let d = system.infer_counted(&test.images()[0]);
+        // freq 3 forces all members before a reliable verdict.
+        if d.verdict.is_reliable() {
+            assert_eq!(d.activated, 3);
+        }
+    }
+
+    #[test]
+    fn verdict_classes_are_in_range() {
+        let (mut system, test) = build_system();
+        for img in &test.images()[..20] {
+            if let Some(c) = system.infer(img).class() {
+                assert!(c < 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Dataset configuration: geometry, class structure, and difficulty knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Full description of a procedural dataset.
+///
+/// A `DatasetConfig` is a pure value: two equal configs always generate
+/// bit-identical datasets. Difficulty is controlled by the corruption
+/// probabilities and the noise/jitter magnitudes; class confusability is
+/// controlled by `similar_pairs` and `similar_epsilon`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Human-readable dataset name, e.g. `"synth-digits"`.
+    pub name: String,
+    /// Number of classes.
+    pub classes: usize,
+    /// Image channels (1 = grayscale, 3 = RGB).
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Std-dev of the additive Gaussian pixel noise.
+    pub noise_std: f32,
+    /// Rigid jitter strength in `[0, 1]` (translation/rotation/gain).
+    pub jitter: f32,
+    /// Probability a sample is box-blurred ("poor detail").
+    pub blur_prob: f32,
+    /// Probability a sample gets a rectangular occluder ("poor detail").
+    pub occlusion_prob: f32,
+    /// Probability a secondary object from another class is composited in
+    /// ("multiple objects").
+    pub multi_object_prob: f32,
+    /// Number of leading class pairs `(0,1), (2,3), …` that share a
+    /// perturbed prototype ("class similarity").
+    pub similar_pairs: usize,
+    /// How far a paired sibling's prototype drifts (smaller ⇒ more
+    /// confusable).
+    pub similar_epsilon: f32,
+    /// Gaussian blobs per class prototype.
+    pub proto_blobs: usize,
+    /// Line strokes per class prototype.
+    pub proto_strokes: usize,
+    /// Texture amplitude.
+    pub texture_strength: f32,
+    /// Whether a background gradient is composited (scene-like datasets).
+    pub background: bool,
+    /// Master seed; prototypes and every sample derive from it.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class count cannot host the requested similar pairs,
+    /// or probabilities are outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.classes >= 2, "need at least two classes");
+        assert!(
+            self.similar_pairs * 2 <= self.classes,
+            "{} similar pairs need {} classes, have {}",
+            self.similar_pairs,
+            self.similar_pairs * 2,
+            self.classes
+        );
+        for (name, p) in [
+            ("blur_prob", self.blur_prob),
+            ("occlusion_prob", self.occlusion_prob),
+            ("multi_object_prob", self.multi_object_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+        assert!(self.channels == 1 || self.channels == 3, "channels must be 1 or 3");
+    }
+
+    /// True if `class` belongs to a similar pair.
+    pub fn in_similar_pair(&self, class: usize) -> bool {
+        class < self.similar_pairs * 2
+    }
+
+    /// The sibling class of `class` if it belongs to a similar pair.
+    pub fn similar_sibling(&self, class: usize) -> Option<usize> {
+        if self.in_similar_pair(class) {
+            Some(class ^ 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DatasetConfig {
+        DatasetConfig {
+            name: "test".into(),
+            classes: 6,
+            channels: 1,
+            height: 8,
+            width: 8,
+            noise_std: 0.1,
+            jitter: 0.2,
+            blur_prob: 0.1,
+            occlusion_prob: 0.1,
+            multi_object_prob: 0.1,
+            similar_pairs: 2,
+            similar_epsilon: 0.05,
+            proto_blobs: 2,
+            proto_strokes: 1,
+            texture_strength: 0.1,
+            background: false,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        base().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "similar pairs")]
+    fn too_many_pairs_rejected() {
+        let mut c = base();
+        c.similar_pairs = 4;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        let mut c = base();
+        c.blur_prob = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    fn sibling_mapping() {
+        let c = base();
+        assert_eq!(c.similar_sibling(0), Some(1));
+        assert_eq!(c.similar_sibling(1), Some(0));
+        assert_eq!(c.similar_sibling(2), Some(3));
+        assert_eq!(c.similar_sibling(4), None);
+        assert!(c.in_similar_pair(3));
+        assert!(!c.in_similar_pair(5));
+    }
+}

@@ -1,0 +1,108 @@
+//! Plain-text Netpbm export (PGM/PPM) for generated images.
+//!
+//! The paper's Fig. 3 shows example images for each misclassification
+//! characteristic. This module lets examples and debugging sessions dump
+//! any generated sample as a standard Netpbm file viewable everywhere,
+//! without an image-codec dependency.
+
+use pgmr_tensor::Tensor;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders a `[1, c, h, w]` image (values in `[0, 1]`) as a Netpbm string:
+/// `P2` (PGM) for single-channel images, `P3` (PPM) for three-channel.
+///
+/// # Panics
+///
+/// Panics if the tensor is not a single image with 1 or 3 channels.
+pub fn to_netpbm(image: &Tensor) -> String {
+    let (n, c, h, w) = image.shape().as_nchw();
+    assert_eq!(n, 1, "export expects a single image");
+    assert!(c == 1 || c == 3, "export supports 1 or 3 channels, got {c}");
+    let data = image.data();
+    let plane = h * w;
+    let quant = |v: f32| -> u8 { (v.clamp(0.0, 1.0) * 255.0).round() as u8 };
+
+    let mut out = String::new();
+    let magic = if c == 1 { "P2" } else { "P3" };
+    let _ = writeln!(out, "{magic}");
+    let _ = writeln!(out, "{w} {h}");
+    let _ = writeln!(out, "255");
+    for y in 0..h {
+        let mut row = String::new();
+        for x in 0..w {
+            for ch in 0..c {
+                if !row.is_empty() {
+                    row.push(' ');
+                }
+                let _ = write!(row, "{}", quant(data[ch * plane + y * w + x]));
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Writes a `[1, c, h, w]` image to a `.pgm`/`.ppm` file.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics on unsupported tensor shapes (see [`to_netpbm`]).
+pub fn write_netpbm(image: &Tensor, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, to_netpbm(image))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grayscale_header_and_values() {
+        let img = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.0, 0.5, 1.0, 0.25]);
+        let s = to_netpbm(&img);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "P2");
+        assert_eq!(lines[1], "2 2");
+        assert_eq!(lines[2], "255");
+        assert_eq!(lines[3], "0 128");
+        assert_eq!(lines[4], "255 64");
+    }
+
+    #[test]
+    fn rgb_interleaves_channels() {
+        // One pixel: R=1, G=0, B=0.5.
+        let img = Tensor::from_vec(vec![1, 3, 1, 1], vec![1.0, 0.0, 0.5]);
+        let s = to_netpbm(&img);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "P3");
+        assert_eq!(lines[3], "255 0 128");
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let img = Tensor::from_vec(vec![1, 1, 1, 2], vec![-1.0, 2.0]);
+        let s = to_netpbm(&img);
+        assert!(s.lines().nth(3).unwrap() == "0 255");
+    }
+
+    #[test]
+    fn write_round_trips_through_fs() {
+        let img = Tensor::filled(vec![1, 1, 2, 2], 0.5);
+        let path = std::env::temp_dir().join(format!("pgmr-export-{}.pgm", std::process::id()));
+        write_netpbm(&img, &path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, to_netpbm(&img));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 3 channels")]
+    fn rejects_two_channels() {
+        to_netpbm(&Tensor::zeros(vec![1, 2, 2, 2]));
+    }
+}

@@ -1,0 +1,54 @@
+//! # pgmr-datasets
+//!
+//! Procedurally generated image-classification datasets substituting for
+//! MNIST, CIFAR-10 and ImageNet in the PolygraphMR reproduction.
+//!
+//! The paper's phenomena — high-confidence wrong answers, the FP/TP
+//! threshold trade-off, and diversity injected by input preprocessing — are
+//! statistical properties of imperfect classifiers on hard inputs, not of
+//! any specific photograph collection. These generators synthesize families
+//! of images from per-class procedural prototypes with tunable difficulty
+//! knobs, and — crucially for reproducing the paper's §II-C
+//! misclassification analysis (Fig. 3) — every sample carries ground-truth
+//! *corruption tags* describing why it is hard:
+//!
+//! * [`CorruptionTag::Blur`] / [`CorruptionTag::Occlusion`] — "poor image
+//!   detail",
+//! * [`CorruptionTag::MultiObject`] — "multiple objects in the image",
+//! * [`CorruptionTag::SimilarClassPair`] — "similarity between classes"
+//!   (paired classes share perturbed prototypes).
+//!
+//! Three dataset families mirror the paper's three datasets:
+//!
+//! | Paper | Family | Geometry | Classes |
+//! |---|---|---|---|
+//! | MNIST | [`families::synth_digits`] | 16×16×1 | 10 |
+//! | CIFAR-10 | [`families::synth_objects`] | 20×20×3 | 10 |
+//! | ImageNet | [`families::synth_scenes`] | 24×24×3 | 20 |
+//!
+//! Generation is fully deterministic: sample `i` of a given
+//! [`Split`] is derived from `(config.seed, split, i)` alone, so any subset
+//! can be regenerated independently and all experiment harnesses are
+//! reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use pgmr_datasets::{families, Split};
+//!
+//! let config = families::synth_digits(42);
+//! let train = config.generate(Split::Train, 100);
+//! assert_eq!(train.len(), 100);
+//! assert!(train.labels().iter().all(|&l| l < config.classes));
+//! ```
+
+pub mod config;
+pub mod export;
+pub mod families;
+pub mod generator;
+pub mod primitives;
+pub mod taxonomy;
+
+pub use config::DatasetConfig;
+pub use generator::{Dataset, Split};
+pub use taxonomy::{CorruptionTag, SampleMeta};

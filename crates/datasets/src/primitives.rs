@@ -1,0 +1,364 @@
+//! Procedural rendering primitives.
+//!
+//! Every class is defined by a *prototype*: a small list of primitives
+//! (anisotropic Gaussian blobs and soft line strokes) plus a periodic
+//! texture field. Samples are rendered by applying a random rigid jitter to
+//! the prototype and compositing it over a background.
+
+use pgmr_tensor::Tensor;
+use rand::Rng;
+
+/// A renderable primitive in prototype space (coordinates in `[0, 1]²`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Primitive {
+    /// An anisotropic Gaussian blob.
+    Blob {
+        /// Center x in `[0,1]`.
+        cx: f32,
+        /// Center y in `[0,1]`.
+        cy: f32,
+        /// Std-dev along the major axis (fraction of image size).
+        sx: f32,
+        /// Std-dev along the minor axis.
+        sy: f32,
+        /// Rotation of the major axis, radians.
+        theta: f32,
+        /// Peak intensity.
+        amp: f32,
+        /// Per-channel color weights (first `channels` entries used).
+        color: [f32; 3],
+    },
+    /// A soft-edged line segment.
+    Stroke {
+        /// Endpoint 1 x.
+        x1: f32,
+        /// Endpoint 1 y.
+        y1: f32,
+        /// Endpoint 2 x.
+        x2: f32,
+        /// Endpoint 2 y.
+        y2: f32,
+        /// Stroke half-width (fraction of image size).
+        width: f32,
+        /// Peak intensity.
+        amp: f32,
+        /// Per-channel color weights.
+        color: [f32; 3],
+    },
+}
+
+/// A class prototype: primitives plus a texture field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prototype {
+    /// The shape primitives.
+    pub primitives: Vec<Primitive>,
+    /// Texture spatial frequency (x).
+    pub tex_fx: f32,
+    /// Texture spatial frequency (y).
+    pub tex_fy: f32,
+    /// Texture phase.
+    pub tex_phase: f32,
+    /// Texture color weights.
+    pub tex_color: [f32; 3],
+}
+
+/// A rigid jitter applied to a prototype before rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jitter {
+    /// Translation x (fraction of image size).
+    pub dx: f32,
+    /// Translation y.
+    pub dy: f32,
+    /// Rotation about the image center, radians.
+    pub rot: f32,
+    /// Overall amplitude multiplier.
+    pub gain: f32,
+}
+
+impl Jitter {
+    /// The identity jitter.
+    pub fn identity() -> Self {
+        Jitter { dx: 0.0, dy: 0.0, rot: 0.0, gain: 1.0 }
+    }
+
+    /// Draws a random jitter with translation/rotation magnitude `strength`
+    /// (0 ⇒ identity, 1 ⇒ up to ±0.25 image shifts and ±0.5 rad).
+    pub fn random<R: Rng>(strength: f32, rng: &mut R) -> Self {
+        Jitter {
+            dx: rng.gen_range(-0.25..0.25) * strength,
+            dy: rng.gen_range(-0.25..0.25) * strength,
+            rot: rng.gen_range(-0.5..0.5) * strength,
+            gain: 1.0 + rng.gen_range(-0.25..0.25) * strength,
+        }
+    }
+
+    fn apply(&self, x: f32, y: f32) -> (f32, f32) {
+        // Rotate about the image center, then translate.
+        let (cx, cy) = (0.5, 0.5);
+        let (sin, cos) = self.rot.sin_cos();
+        let (rx, ry) = (x - cx, y - cy);
+        (cx + rx * cos - ry * sin + self.dx, cy + rx * sin + ry * cos + self.dy)
+    }
+}
+
+impl Prototype {
+    /// Generates a prototype from a dedicated RNG: `blobs` Gaussian blobs
+    /// and `strokes` line strokes with random geometry and colors.
+    pub fn generate<R: Rng>(blobs: usize, strokes: usize, rng: &mut R) -> Self {
+        let mut primitives = Vec::with_capacity(blobs + strokes);
+        for _ in 0..blobs {
+            primitives.push(Primitive::Blob {
+                cx: rng.gen_range(0.2..0.8),
+                cy: rng.gen_range(0.2..0.8),
+                sx: rng.gen_range(0.06..0.22),
+                sy: rng.gen_range(0.04..0.14),
+                theta: rng.gen_range(0.0..std::f32::consts::PI),
+                amp: rng.gen_range(0.5..1.0),
+                color: [rng.gen_range(0.2..1.0), rng.gen_range(0.2..1.0), rng.gen_range(0.2..1.0)],
+            });
+        }
+        for _ in 0..strokes {
+            primitives.push(Primitive::Stroke {
+                x1: rng.gen_range(0.15..0.85),
+                y1: rng.gen_range(0.15..0.85),
+                x2: rng.gen_range(0.15..0.85),
+                y2: rng.gen_range(0.15..0.85),
+                width: rng.gen_range(0.02..0.07),
+                amp: rng.gen_range(0.6..1.0),
+                color: [rng.gen_range(0.2..1.0), rng.gen_range(0.2..1.0), rng.gen_range(0.2..1.0)],
+            });
+        }
+        Prototype {
+            primitives,
+            tex_fx: rng.gen_range(2.0..9.0),
+            tex_fy: rng.gen_range(2.0..9.0),
+            tex_phase: rng.gen_range(0.0..std::f32::consts::TAU),
+            tex_color: [rng.gen_range(0.0..0.5), rng.gen_range(0.0..0.5), rng.gen_range(0.0..0.5)],
+        }
+    }
+
+    /// Returns a slightly perturbed copy — the mechanism behind
+    /// "similar class pairs". `epsilon` controls how far the sibling class
+    /// drifts from this prototype (0 ⇒ identical classes).
+    pub fn perturbed<R: Rng>(&self, epsilon: f32, rng: &mut R) -> Self {
+        let mut out = self.clone();
+        for p in &mut out.primitives {
+            match p {
+                Primitive::Blob { cx, cy, sx, sy, theta, amp, .. } => {
+                    *cx += rng.gen_range(-epsilon..epsilon);
+                    *cy += rng.gen_range(-epsilon..epsilon);
+                    *sx = (*sx + rng.gen_range(-epsilon..epsilon) * 0.3).max(0.02);
+                    *sy = (*sy + rng.gen_range(-epsilon..epsilon) * 0.3).max(0.02);
+                    *theta += rng.gen_range(-epsilon..epsilon) * 2.0;
+                    *amp = (*amp + rng.gen_range(-epsilon..epsilon)).clamp(0.3, 1.2);
+                }
+                Primitive::Stroke { x1, y1, x2, y2, width, amp, .. } => {
+                    *x1 += rng.gen_range(-epsilon..epsilon);
+                    *y1 += rng.gen_range(-epsilon..epsilon);
+                    *x2 += rng.gen_range(-epsilon..epsilon);
+                    *y2 += rng.gen_range(-epsilon..epsilon);
+                    *width = (*width + rng.gen_range(-epsilon..epsilon) * 0.2).max(0.01);
+                    *amp = (*amp + rng.gen_range(-epsilon..epsilon)).clamp(0.3, 1.2);
+                }
+            }
+        }
+        out.tex_phase += rng.gen_range(-epsilon..epsilon) * 4.0;
+        out
+    }
+
+    /// Renders the prototype into an existing `[1, c, h, w]` image,
+    /// compositing additively with the given jitter and overall weight.
+    pub fn render_into(&self, image: &mut Tensor, jitter: &Jitter, weight: f32, texture_strength: f32) {
+        let (n, c, h, w) = image.shape().as_nchw();
+        assert_eq!(n, 1, "render_into expects a single image");
+        let data = image.data_mut();
+        let plane = h * w;
+        for py in 0..h {
+            for px in 0..w {
+                // Pixel center in prototype space.
+                let x = (px as f32 + 0.5) / w as f32;
+                let y = (py as f32 + 0.5) / h as f32;
+                let mut value = [0.0f32; 3];
+                for prim in &self.primitives {
+                    match *prim {
+                        Primitive::Blob { cx, cy, sx, sy, theta, amp, color } => {
+                            let (jcx, jcy) = jitter.apply(cx, cy);
+                            let (dx, dy) = (x - jcx, y - jcy);
+                            let t = theta + jitter.rot;
+                            let (sin, cos) = t.sin_cos();
+                            let u = dx * cos + dy * sin;
+                            let v = -dx * sin + dy * cos;
+                            let d2 = (u / sx) * (u / sx) + (v / sy) * (v / sy);
+                            if d2 < 16.0 {
+                                let g = amp * (-0.5 * d2).exp();
+                                for ch in 0..3 {
+                                    value[ch] += g * color[ch];
+                                }
+                            }
+                        }
+                        Primitive::Stroke { x1, y1, x2, y2, width, amp, color } => {
+                            let (jx1, jy1) = jitter.apply(x1, y1);
+                            let (jx2, jy2) = jitter.apply(x2, y2);
+                            let (vx, vy) = (jx2 - jx1, jy2 - jy1);
+                            let len2 = vx * vx + vy * vy;
+                            let t = if len2 > 0.0 {
+                                (((x - jx1) * vx + (y - jy1) * vy) / len2).clamp(0.0, 1.0)
+                            } else {
+                                0.0
+                            };
+                            let (nx, ny) = (jx1 + t * vx, jy1 + t * vy);
+                            let d2 = (x - nx) * (x - nx) + (y - ny) * (y - ny);
+                            let w2 = width * width;
+                            if d2 < 16.0 * w2 {
+                                let g = amp * (-0.5 * d2 / w2).exp();
+                                for ch in 0..3 {
+                                    value[ch] += g * color[ch];
+                                }
+                            }
+                        }
+                    }
+                }
+                // Texture field (rotates with the jitter).
+                if texture_strength > 0.0 {
+                    let (rx, ry) = jitter.apply(x, y);
+                    let t = (std::f32::consts::TAU * (self.tex_fx * rx + self.tex_fy * ry)
+                        + self.tex_phase)
+                        .sin();
+                    for ch in 0..3 {
+                        value[ch] += texture_strength * t * self.tex_color[ch];
+                    }
+                }
+                for ch in 0..c {
+                    data[ch * plane + py * w + px] += weight * jitter.gain * value[ch.min(2)];
+                }
+            }
+        }
+    }
+}
+
+/// Applies an in-place 3×3 box blur to every channel of a `[1, c, h, w]`
+/// image ("poor detail" corruption).
+pub fn box_blur(image: &mut Tensor) {
+    let (n, c, h, w) = image.shape().as_nchw();
+    assert_eq!(n, 1);
+    let plane = h * w;
+    let src = image.data().to_vec();
+    let dst = image.data_mut();
+    for ch in 0..c {
+        for py in 0..h {
+            for px in 0..w {
+                let mut sum = 0.0;
+                let mut count = 0.0;
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        let ny = py as i32 + dy;
+                        let nx = px as i32 + dx;
+                        if ny >= 0 && ny < h as i32 && nx >= 0 && nx < w as i32 {
+                            sum += src[ch * plane + ny as usize * w + nx as usize];
+                            count += 1.0;
+                        }
+                    }
+                }
+                dst[ch * plane + py * w + px] = sum / count;
+            }
+        }
+    }
+}
+
+/// Fills a random rectangle (roughly a third of each dimension) with a
+/// constant occluder value.
+pub fn occlude<R: Rng>(image: &mut Tensor, rng: &mut R) {
+    let (n, c, h, w) = image.shape().as_nchw();
+    assert_eq!(n, 1);
+    let rh = (h / 3).max(1);
+    let rw = (w / 3).max(1);
+    let oy = rng.gen_range(0..=h - rh);
+    let ox = rng.gen_range(0..=w - rw);
+    let fill: f32 = rng.gen_range(0.0..0.6);
+    let plane = h * w;
+    let data = image.data_mut();
+    for ch in 0..c {
+        for py in oy..oy + rh {
+            for px in ox..ox + rw {
+                data[ch * plane + py * w + px] = fill;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prototype_generation_is_deterministic() {
+        let a = Prototype::generate(3, 2, &mut StdRng::seed_from_u64(7));
+        let b = Prototype::generate(3, 2, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_produces_nonzero_image() {
+        let proto = Prototype::generate(3, 1, &mut StdRng::seed_from_u64(1));
+        let mut img = Tensor::zeros(vec![1, 3, 12, 12]);
+        proto.render_into(&mut img, &Jitter::identity(), 1.0, 0.2);
+        assert!(img.map(|v| v.abs()).sum() > 0.1);
+        assert!(!img.has_non_finite());
+    }
+
+    #[test]
+    fn jitter_moves_the_rendering() {
+        let proto = Prototype::generate(2, 1, &mut StdRng::seed_from_u64(2));
+        let mut a = Tensor::zeros(vec![1, 1, 12, 12]);
+        let mut b = Tensor::zeros(vec![1, 1, 12, 12]);
+        proto.render_into(&mut a, &Jitter::identity(), 1.0, 0.0);
+        proto.render_into(
+            &mut b,
+            &Jitter { dx: 0.2, dy: 0.0, rot: 0.4, gain: 1.0 },
+            1.0,
+            0.0,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn perturbed_prototype_is_close_but_different() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let proto = Prototype::generate(3, 2, &mut rng);
+        let sibling = proto.perturbed(0.05, &mut rng);
+        assert_ne!(proto, sibling);
+        assert_eq!(proto.primitives.len(), sibling.primitives.len());
+        // Render both; images should correlate strongly (similar classes).
+        let mut a = Tensor::zeros(vec![1, 1, 16, 16]);
+        let mut b = Tensor::zeros(vec![1, 1, 16, 16]);
+        proto.render_into(&mut a, &Jitter::identity(), 1.0, 0.0);
+        sibling.render_into(&mut b, &Jitter::identity(), 1.0, 0.0);
+        let dot: f32 = a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum();
+        let corr = dot / (a.norm_sq().sqrt() * b.norm_sq().sqrt()).max(1e-9);
+        assert!(corr > 0.7, "similar classes should correlate, got {corr}");
+    }
+
+    #[test]
+    fn box_blur_reduces_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut img = Tensor::uniform(vec![1, 1, 10, 10], 0.0, 1.0, &mut rng);
+        let mean = img.mean();
+        let var_before = img.map(|v| (v - mean) * (v - mean)).mean();
+        box_blur(&mut img);
+        let mean2 = img.mean();
+        let var_after = img.map(|v| (v - mean2) * (v - mean2)).mean();
+        assert!(var_after < var_before);
+    }
+
+    #[test]
+    fn occlusion_writes_constant_patch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut img = Tensor::ones(vec![1, 1, 9, 9]);
+        occlude(&mut img, &mut rng);
+        // At least h/3*w/3 pixels now differ from 1.0 (fill < 0.6 < 1).
+        let changed = img.data().iter().filter(|&&v| v != 1.0).count();
+        assert!(changed >= 9, "occluder changed {changed} pixels");
+    }
+}

@@ -1,0 +1,110 @@
+//! Ground-truth corruption taxonomy.
+//!
+//! The paper's §II-C manually inspects the highest-confidence AlexNet
+//! mispredictions and finds three recurring characteristics: poor image
+//! detail, multiple objects, and class similarity. Because our images are
+//! procedurally generated, we know *by construction* which of these apply
+//! to every sample, so Fig. 3's analysis becomes quantitative instead of a
+//! manual inspection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a generated sample is hard, by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorruptionTag {
+    /// Box blur was applied — "poor image detail" (obfuscation/blur).
+    Blur,
+    /// A rectangular occluder covers part of the object — "poor image
+    /// detail" (obstruction).
+    Occlusion,
+    /// A second object from a different class was rendered into the image —
+    /// "multiple objects".
+    MultiObject,
+    /// The sample's class shares a perturbed prototype with a sibling class
+    /// — "class similarity".
+    SimilarClassPair,
+}
+
+impl CorruptionTag {
+    /// All tags, in a stable reporting order.
+    pub const ALL: [CorruptionTag; 4] = [
+        CorruptionTag::Blur,
+        CorruptionTag::Occlusion,
+        CorruptionTag::MultiObject,
+        CorruptionTag::SimilarClassPair,
+    ];
+
+    /// The paper's §II-C characteristic this tag belongs to.
+    pub fn characteristic(self) -> &'static str {
+        match self {
+            CorruptionTag::Blur | CorruptionTag::Occlusion => "poor image detail",
+            CorruptionTag::MultiObject => "multiple objects",
+            CorruptionTag::SimilarClassPair => "class similarity",
+        }
+    }
+}
+
+impl fmt::Display for CorruptionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorruptionTag::Blur => "blur",
+            CorruptionTag::Occlusion => "occlusion",
+            CorruptionTag::MultiObject => "multi-object",
+            CorruptionTag::SimilarClassPair => "similar-class-pair",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-sample ground-truth metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleMeta {
+    /// Corruptions applied to this sample (empty ⇒ clean).
+    pub tags: Vec<CorruptionTag>,
+    /// For [`CorruptionTag::MultiObject`] samples, the class of the
+    /// secondary object.
+    pub secondary_class: Option<usize>,
+}
+
+impl SampleMeta {
+    /// A clean, untagged sample.
+    pub fn clean() -> Self {
+        SampleMeta::default()
+    }
+
+    /// True when no corruption was applied.
+    pub fn is_clean(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// True when the sample carries the given tag.
+    pub fn has(&self, tag: CorruptionTag) -> bool {
+        self.tags.contains(&tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characteristics_cover_paper_categories() {
+        let mut set: Vec<&str> = CorruptionTag::ALL.iter().map(|t| t.characteristic()).collect();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set, vec!["class similarity", "multiple objects", "poor image detail"]);
+    }
+
+    #[test]
+    fn clean_meta_has_no_tags() {
+        let m = SampleMeta::clean();
+        assert!(m.is_clean());
+        assert!(!m.has(CorruptionTag::Blur));
+    }
+
+    #[test]
+    fn display_is_kebab_case() {
+        assert_eq!(CorruptionTag::SimilarClassPair.to_string(), "similar-class-pair");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the dataset generators.
+
+use pgmr_datasets::{families, CorruptionTag, DatasetConfig, Split};
+use proptest::prelude::*;
+
+fn any_family() -> impl Strategy<Value = DatasetConfig> {
+    (0u8..3, 0u64..500).prop_map(|(which, seed)| match which {
+        0 => families::synth_digits(seed),
+        1 => families::synth_objects(seed),
+        _ => families::synth_scenes(seed),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation is deterministic and samples are valid for every family
+    /// and seed.
+    #[test]
+    fn generation_deterministic_and_valid(cfg in any_family(), count in 1usize..20) {
+        let a = cfg.generate(Split::Train, count);
+        let b = cfg.generate(Split::Train, count);
+        prop_assert_eq!(a.images(), b.images());
+        prop_assert_eq!(a.labels(), b.labels());
+        for (img, &label) in a.images().iter().zip(a.labels()) {
+            prop_assert!(label < cfg.classes);
+            prop_assert!(!img.has_non_finite());
+            prop_assert!(img.min() >= 0.0 && img.max() <= 1.0);
+            let (n, c, h, w) = img.shape().as_nchw();
+            prop_assert_eq!((n, c, h, w), (1, cfg.channels, cfg.height, cfg.width));
+        }
+    }
+
+    /// The prefix property: a longer generation run extends a shorter one.
+    #[test]
+    fn prefix_property(cfg in any_family(), short in 1usize..10, extra in 1usize..10) {
+        let a = cfg.generate(Split::Val, short);
+        let b = cfg.generate(Split::Val, short + extra);
+        prop_assert_eq!(a.images(), &b.images()[..short]);
+        prop_assert_eq!(a.labels(), &b.labels()[..short]);
+        prop_assert_eq!(a.metas(), &b.metas()[..short]);
+    }
+
+    /// Different master seeds give different datasets (same geometry).
+    #[test]
+    fn seed_changes_content(seed in 0u64..1000) {
+        let a = families::synth_objects(seed).generate(Split::Test, 5);
+        let b = families::synth_objects(seed + 1).generate(Split::Test, 5);
+        prop_assert_ne!(a.images(), b.images());
+    }
+
+    /// The similar-pair tag appears exactly on paired classes.
+    #[test]
+    fn similar_tag_is_structural(cfg in any_family(), count in 10usize..40) {
+        let ds = cfg.generate(Split::Test, count);
+        for (&label, meta) in ds.labels().iter().zip(ds.metas()) {
+            prop_assert_eq!(
+                meta.has(CorruptionTag::SimilarClassPair),
+                cfg.in_similar_pair(label)
+            );
+        }
+    }
+
+    /// Zeroing every corruption probability yields corruption-free samples
+    /// (apart from the structural similarity tag).
+    #[test]
+    fn clean_config_generates_clean_samples(seed in 0u64..200, count in 5usize..20) {
+        let mut cfg = families::synth_objects(seed);
+        cfg.blur_prob = 0.0;
+        cfg.occlusion_prob = 0.0;
+        cfg.multi_object_prob = 0.0;
+        let ds = cfg.generate(Split::Train, count);
+        for meta in ds.metas() {
+            prop_assert!(!meta.has(CorruptionTag::Blur));
+            prop_assert!(!meta.has(CorruptionTag::Occlusion));
+            prop_assert!(!meta.has(CorruptionTag::MultiObject));
+            prop_assert!(meta.secondary_class.is_none());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Confidence histograms (the paper's Fig. 1 bucketing).
+
+use crate::outcome::PredictionRecord;
+use serde::{Deserialize, Serialize};
+
+/// Wrong answers grouped by the paper's four confidence buckets,
+/// normalized by the **total** sample count (so distributions across
+/// networks of different accuracy are comparable, exactly as in Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfidenceBuckets {
+    /// Wrong with confidence in `[0, 0.3)`.
+    pub low: f64,
+    /// Wrong with confidence in `[0.3, 0.6)`.
+    pub medium: f64,
+    /// Wrong with confidence in `[0.6, 0.9)`.
+    pub high: f64,
+    /// Wrong with confidence in `[0.9, 1.0]`.
+    pub very_high: f64,
+}
+
+impl ConfidenceBuckets {
+    /// Total normalized wrong-answer mass (equals `1 − accuracy`).
+    pub fn total_wrong(&self) -> f64 {
+        self.low + self.medium + self.high + self.very_high
+    }
+
+    /// The paper's headline quantity: wrong answers with high or very-high
+    /// confidence.
+    pub fn high_confidence_wrong(&self) -> f64 {
+        self.high + self.very_high
+    }
+}
+
+/// Buckets the wrong answers of a prediction set by confidence.
+///
+/// # Panics
+///
+/// Panics on an empty record set.
+pub fn bucket_confidences(records: &[PredictionRecord]) -> ConfidenceBuckets {
+    assert!(!records.is_empty(), "cannot bucket zero records");
+    let n = records.len() as f64;
+    let mut b = ConfidenceBuckets::default();
+    for r in records {
+        if r.is_correct() {
+            continue;
+        }
+        let c = r.confidence;
+        if c < 0.3 {
+            b.low += 1.0;
+        } else if c < 0.6 {
+            b.medium += 1.0;
+        } else if c < 0.9 {
+            b.high += 1.0;
+        } else {
+            b.very_high += 1.0;
+        }
+    }
+    b.low /= n;
+    b.medium /= n;
+    b.high /= n;
+    b.very_high /= n;
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: usize, predicted: usize, confidence: f32) -> PredictionRecord {
+        PredictionRecord { label, predicted, confidence }
+    }
+
+    #[test]
+    fn buckets_partition_wrong_answers() {
+        let records = vec![
+            rec(0, 0, 0.99), // correct, ignored
+            rec(0, 1, 0.1),  // low
+            rec(0, 1, 0.45), // medium
+            rec(0, 1, 0.7),  // high
+            rec(0, 1, 0.95), // very high
+        ];
+        let b = bucket_confidences(&records);
+        assert!((b.low - 0.2).abs() < 1e-12);
+        assert!((b.medium - 0.2).abs() < 1e-12);
+        assert!((b.high - 0.2).abs() < 1e-12);
+        assert!((b.very_high - 0.2).abs() < 1e-12);
+        assert!((b.total_wrong() - 0.8).abs() < 1e-12);
+        assert!((b.high_confidence_wrong() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundaries_bucket_upward() {
+        let b = bucket_confidences(&[rec(0, 1, 0.3), rec(0, 1, 0.6), rec(0, 1, 0.9)]);
+        assert_eq!(b.low, 0.0);
+        assert!((b.medium - 1.0 / 3.0).abs() < 1e-12);
+        assert!((b.high - 1.0 / 3.0).abs() < 1e-12);
+        assert!((b.very_high - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_correct_gives_empty_buckets() {
+        let b = bucket_confidences(&[rec(1, 1, 0.5), rec(2, 2, 0.99)]);
+        assert_eq!(b.total_wrong(), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pgmr-metrics
+//!
+//! Reliability metrics for PolygraphMR: the outcome taxonomy of §III-A,
+//! confidence histograms (Fig. 1), threshold sweeps (Fig. 2), expected
+//! calibration error, and TP/FP Pareto frontiers (Figs. 11/13/14 and the
+//! decision-engine profiling stage of §III-E).
+//!
+//! The taxonomy: a system's answer is either emitted as *reliable* or
+//! flagged *unreliable*. Crossing that with correctness gives four
+//! outcomes —
+//!
+//! | | emitted reliable | flagged unreliable |
+//! |---|---|---|
+//! | correct | **TP** (desired) | TN (lost correct answer) |
+//! | wrong | **FP** (undetected misprediction) | FN (detected misprediction) |
+//!
+//! The paper's goal: minimize FP while keeping TP at 100% of the baseline
+//! accuracy.
+
+pub mod histogram;
+pub mod outcome;
+pub mod pareto;
+pub mod sweep;
+
+pub use histogram::{bucket_confidences, ConfidenceBuckets};
+pub use outcome::{summarize, Outcome, PredictionRecord, RateSummary};
+pub use pareto::{pareto_frontier, ParetoPoint};
+pub use sweep::{expected_calibration_error, threshold_sweep, SweepPoint};

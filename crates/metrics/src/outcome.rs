@@ -1,0 +1,147 @@
+//! The four-way reliability outcome taxonomy (§III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// One classified sample as seen by the reliability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRecord {
+    /// Ground-truth class.
+    pub label: usize,
+    /// Predicted class.
+    pub predicted: usize,
+    /// Confidence of the prediction (softmax probability of `predicted`).
+    pub confidence: f32,
+}
+
+impl PredictionRecord {
+    /// True when the prediction matches the label.
+    pub fn is_correct(&self) -> bool {
+        self.label == self.predicted
+    }
+}
+
+/// The reliability outcome of one emitted answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Correct answer emitted as reliable — the desired case.
+    TruePositive,
+    /// Wrong answer emitted as reliable — an undetected misprediction, the
+    /// quantity PolygraphMR minimizes.
+    FalsePositive,
+    /// Correct answer undesirably flagged unreliable.
+    TrueNegative,
+    /// Wrong answer correctly flagged unreliable — a detected
+    /// misprediction.
+    FalseNegative,
+}
+
+impl Outcome {
+    /// Classifies a (correctness, reliability-verdict) pair.
+    pub fn from_flags(correct: bool, emitted_reliable: bool) -> Self {
+        match (correct, emitted_reliable) {
+            (true, true) => Outcome::TruePositive,
+            (false, true) => Outcome::FalsePositive,
+            (true, false) => Outcome::TrueNegative,
+            (false, false) => Outcome::FalseNegative,
+        }
+    }
+}
+
+/// Outcome rates over a sample set; each field is a fraction of the total.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RateSummary {
+    /// True-positive rate.
+    pub tp: f64,
+    /// False-positive rate (undetected mispredictions).
+    pub fp: f64,
+    /// True-negative rate (lost correct answers).
+    pub tn: f64,
+    /// False-negative rate (detected mispredictions).
+    pub fn_: f64,
+    /// Total sample count.
+    pub total: usize,
+}
+
+impl RateSummary {
+    /// Fraction of answers emitted as reliable.
+    pub fn coverage(&self) -> f64 {
+        self.tp + self.fp
+    }
+
+    /// Fraction flagged unreliable.
+    pub fn unreliable(&self) -> f64 {
+        self.tn + self.fn_
+    }
+}
+
+/// Summarizes outcome counts into rates.
+///
+/// # Panics
+///
+/// Panics on an empty slice — rates over nothing are meaningless.
+pub fn summarize(outcomes: &[Outcome]) -> RateSummary {
+    assert!(!outcomes.is_empty(), "cannot summarize zero outcomes");
+    let total = outcomes.len();
+    let mut counts = [0usize; 4];
+    for &o in outcomes {
+        let idx = match o {
+            Outcome::TruePositive => 0,
+            Outcome::FalsePositive => 1,
+            Outcome::TrueNegative => 2,
+            Outcome::FalseNegative => 3,
+        };
+        counts[idx] += 1;
+    }
+    let f = |c: usize| c as f64 / total as f64;
+    RateSummary {
+        tp: f(counts[0]),
+        fp: f(counts[1]),
+        tn: f(counts[2]),
+        fn_: f(counts[3]),
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flags_truth_table() {
+        assert_eq!(Outcome::from_flags(true, true), Outcome::TruePositive);
+        assert_eq!(Outcome::from_flags(false, true), Outcome::FalsePositive);
+        assert_eq!(Outcome::from_flags(true, false), Outcome::TrueNegative);
+        assert_eq!(Outcome::from_flags(false, false), Outcome::FalseNegative);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let outcomes = vec![
+            Outcome::TruePositive,
+            Outcome::TruePositive,
+            Outcome::FalsePositive,
+            Outcome::TrueNegative,
+            Outcome::FalseNegative,
+        ];
+        let s = summarize(&outcomes);
+        assert!((s.tp + s.fp + s.tn + s.fn_ - 1.0).abs() < 1e-12);
+        assert_eq!(s.total, 5);
+        assert!((s.tp - 0.4).abs() < 1e-12);
+        assert!((s.coverage() - 0.6).abs() < 1e-12);
+        assert!((s.unreliable() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero outcomes")]
+    fn summarize_rejects_empty() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn record_correctness() {
+        let r = PredictionRecord { label: 3, predicted: 3, confidence: 0.8 };
+        assert!(r.is_correct());
+        let w = PredictionRecord { label: 3, predicted: 1, confidence: 0.8 };
+        assert!(!w.is_correct());
+    }
+}

@@ -1,0 +1,122 @@
+//! TP/FP Pareto frontiers (§III-E profiling, Figs. 11/13/14).
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate operating point: maximize `tp`, minimize `fp`. The tag
+/// carries whatever configuration produced the point (e.g. a
+/// `(Thr_Conf, Thr_Freq)` pair).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint<T> {
+    /// True-positive rate of the configuration.
+    pub tp: f64,
+    /// False-positive rate of the configuration.
+    pub fp: f64,
+    /// The configuration that produced this point.
+    pub tag: T,
+}
+
+impl<T> ParetoPoint<T> {
+    /// True when `self` dominates `other`: at least as good on both axes
+    /// and strictly better on one.
+    pub fn dominates(&self, other: &ParetoPoint<T>) -> bool {
+        (self.tp >= other.tp && self.fp <= other.fp)
+            && (self.tp > other.tp || self.fp < other.fp)
+    }
+}
+
+/// Extracts the Pareto frontier (maximize TP, minimize FP), sorted by
+/// ascending TP. Duplicate (tp, fp) pairs keep their first occurrence.
+pub fn pareto_frontier<T: Clone>(points: &[ParetoPoint<T>]) -> Vec<ParetoPoint<T>> {
+    let mut sorted: Vec<&ParetoPoint<T>> = points.iter().collect();
+    // Sort by descending TP, then ascending FP: scanning forward, a point is
+    // on the frontier iff its FP is strictly below every FP seen so far
+    // (ties in TP keep only the lowest FP).
+    sorted.sort_by(|a, b| {
+        b.tp.partial_cmp(&a.tp)
+            .expect("finite tp")
+            .then(a.fp.partial_cmp(&b.fp).expect("finite fp"))
+    });
+    let mut frontier: Vec<ParetoPoint<T>> = Vec::new();
+    let mut best_fp = f64::INFINITY;
+    let mut last_tp = f64::NAN;
+    for p in sorted {
+        if p.fp < best_fp && p.tp != last_tp {
+            frontier.push(p.clone());
+            best_fp = p.fp;
+            last_tp = p.tp;
+        } else if p.fp < best_fp {
+            // Same TP as the previous accepted point but lower FP: replace.
+            frontier.pop();
+            frontier.push(p.clone());
+            best_fp = p.fp;
+        }
+    }
+    frontier.reverse();
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(tp: f64, fp: f64, tag: u32) -> ParetoPoint<u32> {
+        ParetoPoint { tp, fp, tag }
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(p(0.9, 0.1, 0).dominates(&p(0.8, 0.2, 1)));
+        assert!(p(0.9, 0.1, 0).dominates(&p(0.9, 0.2, 1)));
+        assert!(!p(0.9, 0.1, 0).dominates(&p(0.9, 0.1, 1)));
+        assert!(!p(0.9, 0.2, 0).dominates(&p(0.8, 0.1, 1)));
+    }
+
+    #[test]
+    fn frontier_drops_dominated_points() {
+        let points = vec![
+            p(0.9, 0.10, 0),
+            p(0.8, 0.05, 1),
+            p(0.85, 0.20, 2), // dominated by 0
+            p(0.7, 0.01, 3),
+            p(0.6, 0.02, 4), // dominated by 3
+        ];
+        let f = pareto_frontier(&points);
+        let tags: Vec<u32> = f.iter().map(|q| q.tag).collect();
+        assert_eq!(tags, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_non_dominated() {
+        let points: Vec<ParetoPoint<u32>> = (0..50)
+            .map(|i| {
+                let tp = (i as f64 * 0.37).sin().abs();
+                let fp = (i as f64 * 0.53).cos().abs();
+                p(tp, fp, i)
+            })
+            .collect();
+        let f = pareto_frontier(&points);
+        for w in f.windows(2) {
+            assert!(w[0].tp < w[1].tp, "frontier sorted by tp");
+            assert!(w[0].fp < w[1].fp, "lower tp must buy lower fp");
+        }
+        for a in &f {
+            for b in &points {
+                assert!(!b.dominates(a), "frontier point {:?} dominated by {:?}", a.tag, b.tag);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_tp_keeps_lowest_fp() {
+        let points = vec![p(0.5, 0.3, 0), p(0.5, 0.1, 1), p(0.5, 0.2, 2)];
+        let f = pareto_frontier(&points);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].tag, 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        let f = pareto_frontier::<u32>(&[]);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Confidence-threshold sweeps (Fig. 2) and calibration error.
+
+use crate::outcome::PredictionRecord;
+use serde::{Deserialize, Serialize};
+
+/// TP/FP rates of a single network gated by one confidence threshold:
+/// predictions at or above the threshold are emitted, the rest are flagged
+/// unreliable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The confidence threshold.
+    pub threshold: f32,
+    /// Correct answers emitted (fraction of all samples).
+    pub tp: f64,
+    /// Wrong answers emitted (fraction of all samples).
+    pub fp: f64,
+}
+
+/// Sweeps a confidence threshold over a prediction set.
+///
+/// At threshold 0 the TP rate equals the network's accuracy and the FP rate
+/// its error rate; both fall monotonically as the threshold rises.
+///
+/// # Panics
+///
+/// Panics on an empty record set.
+pub fn threshold_sweep(records: &[PredictionRecord], thresholds: &[f32]) -> Vec<SweepPoint> {
+    assert!(!records.is_empty(), "cannot sweep zero records");
+    let n = records.len() as f64;
+    thresholds
+        .iter()
+        .map(|&t| {
+            let mut tp = 0usize;
+            let mut fp = 0usize;
+            for r in records {
+                if r.confidence >= t {
+                    if r.is_correct() {
+                        tp += 1;
+                    } else {
+                        fp += 1;
+                    }
+                }
+            }
+            SweepPoint { threshold: t, tp: tp as f64 / n, fp: fp as f64 / n }
+        })
+        .collect()
+}
+
+/// Expected calibration error over `bins` equal-width confidence bins:
+/// the weighted mean absolute gap between each bin's mean confidence and
+/// its empirical accuracy.
+///
+/// # Panics
+///
+/// Panics on an empty record set or `bins == 0`.
+pub fn expected_calibration_error(records: &[PredictionRecord], bins: usize) -> f64 {
+    assert!(!records.is_empty(), "cannot compute ECE of zero records");
+    assert!(bins > 0, "need at least one bin");
+    let mut conf_sum = vec![0.0f64; bins];
+    let mut correct_sum = vec![0.0f64; bins];
+    let mut counts = vec![0usize; bins];
+    for r in records {
+        let b = ((r.confidence.clamp(0.0, 1.0) as f64) * bins as f64).min(bins as f64 - 1.0) as usize;
+        conf_sum[b] += r.confidence as f64;
+        correct_sum[b] += if r.is_correct() { 1.0 } else { 0.0 };
+        counts[b] += 1;
+    }
+    let n = records.len() as f64;
+    let mut ece = 0.0;
+    for b in 0..bins {
+        if counts[b] == 0 {
+            continue;
+        }
+        let avg_conf = conf_sum[b] / counts[b] as f64;
+        let acc = correct_sum[b] / counts[b] as f64;
+        ece += (counts[b] as f64 / n) * (avg_conf - acc).abs();
+    }
+    ece
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(correct: bool, confidence: f32) -> PredictionRecord {
+        PredictionRecord { label: 0, predicted: if correct { 0 } else { 1 }, confidence }
+    }
+
+    #[test]
+    fn zero_threshold_matches_accuracy() {
+        let records = vec![rec(true, 0.9), rec(true, 0.2), rec(false, 0.5), rec(false, 0.8)];
+        let sweep = threshold_sweep(&records, &[0.0]);
+        assert!((sweep[0].tp - 0.5).abs() < 1e-12);
+        assert!((sweep[0].fp - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_are_monotone_in_threshold() {
+        let records: Vec<PredictionRecord> = (0..100)
+            .map(|i| rec(i % 3 != 0, (i as f32) / 100.0))
+            .collect();
+        let thresholds: Vec<f32> = (0..=10).map(|i| i as f32 / 10.0).collect();
+        let sweep = threshold_sweep(&records, &thresholds);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].tp <= pair[0].tp);
+            assert!(pair[1].fp <= pair[0].fp);
+        }
+    }
+
+    #[test]
+    fn max_threshold_emits_nothing_below_it() {
+        let records = vec![rec(true, 0.5), rec(false, 0.99)];
+        let sweep = threshold_sweep(&records, &[0.995]);
+        assert_eq!(sweep[0].tp, 0.0);
+        assert_eq!(sweep[0].fp, 0.0);
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated() {
+        // 10 samples at confidence 0.8, exactly 8 correct.
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(rec(i < 8, 0.8));
+        }
+        let ece = expected_calibration_error(&records, 10);
+        assert!(ece < 1e-6, "ece {ece}");
+    }
+
+    #[test]
+    fn ece_large_for_overconfident() {
+        // Always confident 0.99 but only half correct.
+        let records: Vec<PredictionRecord> = (0..100).map(|i| rec(i % 2 == 0, 0.99)).collect();
+        let ece = expected_calibration_error(&records, 10);
+        assert!((ece - 0.49).abs() < 0.02, "ece {ece}");
+    }
+}

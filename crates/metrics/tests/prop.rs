@@ -1,0 +1,71 @@
+//! Property-based tests for the metrics crate.
+
+use pgmr_metrics::{
+    bucket_confidences, expected_calibration_error, summarize, threshold_sweep, Outcome,
+    PredictionRecord,
+};
+use proptest::prelude::*;
+
+fn records_strategy() -> impl Strategy<Value = Vec<PredictionRecord>> {
+    prop::collection::vec(
+        (0usize..5, 0usize..5, 0.0f32..=1.0).prop_map(|(label, predicted, confidence)| {
+            PredictionRecord { label, predicted, confidence }
+        }),
+        1..120,
+    )
+}
+
+proptest! {
+    /// Outcome rates always partition to exactly 1.
+    #[test]
+    fn rates_partition(flags in prop::collection::vec((any::<bool>(), any::<bool>()), 1..100)) {
+        let outcomes: Vec<Outcome> = flags
+            .iter()
+            .map(|&(correct, reliable)| Outcome::from_flags(correct, reliable))
+            .collect();
+        let s = summarize(&outcomes);
+        prop_assert!((s.tp + s.fp + s.tn + s.fn_ - 1.0).abs() < 1e-9);
+        prop_assert!((s.coverage() + s.unreliable() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(s.total, flags.len());
+    }
+
+    /// Confidence buckets partition the wrong answers: their sum equals
+    /// 1 − accuracy.
+    #[test]
+    fn buckets_partition_errors(records in records_strategy()) {
+        let b = bucket_confidences(&records);
+        let accuracy = records.iter().filter(|r| r.is_correct()).count() as f64
+            / records.len() as f64;
+        prop_assert!((b.total_wrong() - (1.0 - accuracy)).abs() < 1e-9);
+        for v in [b.low, b.medium, b.high, b.very_high] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// Threshold sweeps are monotone non-increasing in both TP and FP, and
+    /// the threshold-0 point recovers accuracy / error exactly.
+    #[test]
+    fn sweep_monotone(records in records_strategy()) {
+        let thresholds: Vec<f32> = (0..=20).map(|i| i as f32 / 20.0).collect();
+        let sweep = threshold_sweep(&records, &thresholds);
+        let accuracy = records.iter().filter(|r| r.is_correct()).count() as f64
+            / records.len() as f64;
+        prop_assert!((sweep[0].tp - accuracy).abs() < 1e-9);
+        prop_assert!((sweep[0].fp - (1.0 - accuracy)).abs() < 1e-9);
+        for w in sweep.windows(2) {
+            prop_assert!(w[1].tp <= w[0].tp + 1e-12);
+            prop_assert!(w[1].fp <= w[0].fp + 1e-12);
+        }
+    }
+
+    /// ECE lies in [0, 1] and is invariant to record order.
+    #[test]
+    fn ece_bounded_and_permutation_invariant(records in records_strategy(), bins in 1usize..20) {
+        let e1 = expected_calibration_error(&records, bins);
+        prop_assert!((0.0..=1.0).contains(&e1));
+        let mut rev = records.clone();
+        rev.reverse();
+        let e2 = expected_calibration_error(&rev, bins);
+        prop_assert!((e1 - e2).abs() < 1e-12);
+    }
+}

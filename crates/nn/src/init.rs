@@ -1,0 +1,61 @@
+//! Weight initialization schemes.
+//!
+//! The paper's MR baseline derives diversity purely from "randomizing the
+//! starting weights" (§III-C), so initialization is seed-driven and
+//! deterministic: the same seed always produces the same network.
+
+use pgmr_tensor::Tensor;
+use rand::Rng;
+
+/// He (Kaiming) normal initialization for ReLU networks: weights drawn from
+/// `N(0, sqrt(2 / fan_in))`.
+pub fn he_normal<R: Rng>(shape: Vec<usize>, fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::normal(shape, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(shape: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform(shape, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_variance_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_normal(vec![20_000], 50, &mut rng);
+        let var = t.map(|x| x * x).mean();
+        assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(vec![1000], 10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = he_normal(vec![64], 8, &mut StdRng::seed_from_u64(99));
+        let b = he_normal(vec![64], 8, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = he_normal(vec![64], 8, &mut StdRng::seed_from_u64(1));
+        let b = he_normal(vec![64], 8, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+}

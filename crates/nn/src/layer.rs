@@ -1,0 +1,122 @@
+//! The [`Layer`] trait and parameter/cost accounting types.
+
+use pgmr_tensor::Tensor;
+
+/// A trainable parameter together with its accumulated gradient.
+///
+/// Layers own their `ParamSlot`s; optimizers visit them through
+/// [`Layer::visit_slots`] and update `value` from `grad`.
+#[derive(Debug, Clone)]
+pub struct ParamSlot {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Tensor,
+}
+
+impl ParamSlot {
+    /// Creates a slot with a zeroed gradient of matching shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims().to_vec());
+        ParamSlot { value, grad }
+    }
+
+    /// Zeroes the gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_in_place(|_| 0.0);
+    }
+}
+
+/// Static cost profile of one layer for a single input image, consumed by
+/// the `pgmr-perf` analytical GPU model.
+///
+/// `macs` counts multiply-accumulate operations; `param_elems` counts weight
+/// elements that must be streamed from memory; `output_elems` counts
+/// activation elements written back (and re-read by the next layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerCost {
+    /// Human-readable layer kind, e.g. `"conv2d"`.
+    pub kind: &'static str,
+    /// Multiply-accumulates per image.
+    pub macs: u64,
+    /// Parameter elements (weights + biases).
+    pub param_elems: u64,
+    /// Activation elements produced per image.
+    pub output_elems: u64,
+}
+
+/// A differentiable network layer.
+///
+/// The contract mirrors classic define-by-run frameworks:
+///
+/// 1. `forward` consumes a batch and caches whatever the backward pass
+///    needs. `train` distinguishes training-time behavior (e.g. batch-norm
+///    batch statistics) from inference (running statistics).
+/// 2. `backward` consumes the gradient w.r.t. the layer's output, updates
+///    the internal parameter gradients, and returns the gradient w.r.t. the
+///    layer's input. It must be called after `forward` on the same batch.
+/// 3. `visit_slots` exposes parameters to the optimizer and serializer in a
+///    stable order.
+///
+/// Layers must be `Send` so ensembles can be trained on worker threads.
+pub trait Layer: Send {
+    /// Runs the layer on a `[n, …]` batch, caching state for `backward`.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates gradients; returns the gradient w.r.t. the forward input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits every `(value, grad)` parameter slot in a stable order.
+    fn visit_slots(&mut self, f: &mut dyn FnMut(&mut ParamSlot));
+
+    /// Layer kind for debugging and cost reporting.
+    fn name(&self) -> &'static str;
+
+    /// Per-image cost profile for the analytical performance model.
+    fn cost(&self) -> LayerCost;
+
+    /// Clones the layer behind the trait object.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Switches Monte-Carlo dropout mode on or off. A no-op for layers
+    /// without stochastic inference behavior; composite layers forward the
+    /// call to their children.
+    fn set_mc_dropout(&mut self, _on: bool) {}
+
+    /// Visits every non-trainable state buffer in a stable order — e.g.
+    /// batch-norm running means/variances. Buffers are part of a model's
+    /// serialized state (they shape inference) but are never touched by
+    /// optimizers. Composite layers forward the call to their children.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_slot_zeroes_grad() {
+        let mut slot = ParamSlot::new(Tensor::ones(vec![3]));
+        slot.grad = Tensor::filled(vec![3], 2.0);
+        slot.zero_grad();
+        assert_eq!(slot.grad.sum(), 0.0);
+        assert_eq!(slot.value.sum(), 3.0);
+    }
+
+    #[test]
+    fn layer_cost_default_is_zeroed() {
+        let c = LayerCost::default();
+        assert_eq!(c.macs, 0);
+        assert_eq!(c.param_elems, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Activation layers.
+
+use crate::layer::{Layer, LayerCost, ParamSlot};
+use pgmr_tensor::{relu, relu_backward, Tensor};
+
+/// Rectified linear unit layer.
+#[derive(Clone, Default)]
+pub struct Relu {
+    input_cache: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { input_cache: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.input_cache = Some(input.clone());
+        relu(input)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .input_cache
+            .as_ref()
+            .expect("relu backward called before forward");
+        relu_backward(input, grad_output)
+    }
+
+    fn visit_slots(&mut self, _f: &mut dyn FnMut(&mut ParamSlot)) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn cost(&self) -> LayerCost {
+        LayerCost {
+            kind: "relu",
+            macs: 0,
+            param_elems: 0,
+            output_elems: self.input_cache.as_ref().map(|t| {
+                let dims = t.shape().dims();
+                (t.len() / dims[0]) as u64
+            }).unwrap_or(0),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_vec(vec![1, 4], vec![-1., 0., 1., 2.]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.data(), &[0., 0., 1., 2.]);
+        let dx = layer.backward(&Tensor::ones(vec![1, 4]));
+        assert_eq!(dx.data(), &[0., 0., 1., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_requires_forward() {
+        Relu::new().backward(&Tensor::ones(vec![1]));
+    }
+}

@@ -1,0 +1,190 @@
+//! Fully-connected (dense) layers.
+
+use crate::init::he_normal;
+use crate::layer::{Layer, LayerCost, ParamSlot};
+use pgmr_tensor::gemm::{gemm_a_bt, gemm_at_b};
+use pgmr_tensor::Tensor;
+use rand::Rng;
+
+/// A fully-connected layer computing `y = x W^T + b` over a `[n, in]` batch.
+///
+/// Weights are stored `[out, in]` row-major, so the forward pass is
+/// `gemm_a_bt(x, W)`.
+#[derive(Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weight: ParamSlot,
+    bias: ParamSlot,
+    input_cache: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialized weights and zero bias.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Dense {
+            in_features,
+            out_features,
+            weight: ParamSlot::new(he_normal(vec![out_features, in_features], in_features, rng)),
+            bias: ParamSlot::new(Tensor::zeros(vec![out_features])),
+            input_cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "dense expects [n, features]");
+        let n = input.shape().dim(0);
+        assert_eq!(
+            input.shape().dim(1),
+            self.in_features,
+            "dense input feature mismatch"
+        );
+        let mut out = vec![0.0f32; n * self.out_features];
+        // y = x (n x in) * W^T (in x out) + bias
+        for row in out.chunks_mut(self.out_features) {
+            row.copy_from_slice(self.bias.value.data());
+        }
+        gemm_a_bt(
+            n,
+            self.in_features,
+            self.out_features,
+            input.data(),
+            self.weight.value.data(),
+            &mut out,
+        );
+        self.input_cache = Some(input.clone());
+        Tensor::from_vec(vec![n, self.out_features], out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .input_cache
+            .as_ref()
+            .expect("dense backward called before forward");
+        let n = input.shape().dim(0);
+        assert_eq!(grad_output.shape().dims(), &[n, self.out_features]);
+
+        // dW += dY^T (out x n) * X (n x in)
+        gemm_at_b(
+            self.out_features,
+            n,
+            self.in_features,
+            grad_output.data(),
+            input.data(),
+            self.weight.grad.data_mut(),
+        );
+        // dB += column sums of dY.
+        let bias_grad = self.bias.grad.data_mut();
+        for row in grad_output.data().chunks(self.out_features) {
+            for (b, &g) in bias_grad.iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        // dX = dY (n x out) * W (out x in)
+        let mut dx = vec![0.0f32; n * self.in_features];
+        pgmr_tensor::gemm::gemm(
+            n,
+            self.out_features,
+            self.in_features,
+            grad_output.data(),
+            self.weight.value.data(),
+            &mut dx,
+        );
+        Tensor::from_vec(vec![n, self.in_features], dx)
+    }
+
+    fn visit_slots(&mut self, f: &mut dyn FnMut(&mut ParamSlot)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn cost(&self) -> LayerCost {
+        LayerCost {
+            kind: "dense",
+            macs: (self.in_features * self.out_features) as u64,
+            param_elems: (self.weight.value.len() + self.bias.value.len()) as u64,
+            output_elems: self.out_features as u64,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_identity_weight() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut dense = Dense::new(2, 2, &mut rng);
+        dense.weight.value = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]);
+        dense.bias.value = Tensor::from_vec(vec![2], vec![1., 2.]);
+        let x = Tensor::from_vec(vec![1, 2], vec![3., 4.]);
+        let y = dense.forward(&x, true);
+        assert_eq!(y.data(), &[4., 6.]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dense = Dense::new(4, 3, &mut rng);
+        let x = Tensor::uniform(vec![2, 4], -1.0, 1.0, &mut rng);
+        let y = dense.forward(&x, true);
+        let dx = dense.backward(&Tensor::ones(y.shape().dims().to_vec()));
+
+        let eps = 1e-3;
+        for flat in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let numeric = (dense.forward(&xp, true).sum() - dense.forward(&xm, true).sum()) / (2.0 * eps);
+            assert!((numeric - dx.data()[flat]).abs() < 1e-2);
+        }
+
+        let mut probe = dense.clone();
+        probe.weight.grad.map_in_place(|_| 0.0);
+        probe.bias.grad.map_in_place(|_| 0.0);
+        let y2 = probe.forward(&x, true);
+        let _ = probe.backward(&Tensor::ones(y2.shape().dims().to_vec()));
+        for flat in 0..probe.weight.value.len() {
+            let mut wp = dense.clone();
+            wp.weight.value.data_mut()[flat] += eps;
+            let mut wm = dense.clone();
+            wm.weight.value.data_mut()[flat] -= eps;
+            let numeric = (wp.forward(&x, true).sum() - wm.forward(&x, true).sum()) / (2.0 * eps);
+            assert!((numeric - probe.weight.grad.data()[flat]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_batch_sum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dense = Dense::new(2, 2, &mut rng);
+        let x = Tensor::uniform(vec![3, 2], -1.0, 1.0, &mut rng);
+        let y = dense.forward(&x, true);
+        let _ = dense.backward(&Tensor::ones(y.shape().dims().to_vec()));
+        assert_eq!(dense.bias.grad.data(), &[3.0, 3.0]);
+    }
+}

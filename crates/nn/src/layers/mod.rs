@@ -1,0 +1,21 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod batchnorm;
+mod composite;
+mod conv;
+mod dense;
+mod dropout;
+mod flatten;
+mod parallel;
+mod pool;
+
+pub use activation::Relu;
+pub use batchnorm::BatchNorm2d;
+pub use composite::{DenseBlock, Residual};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use parallel::Parallel;
+pub use pool::{AvgPoolGlobal, MaxPool2d};

@@ -1,0 +1,291 @@
+//! Sequential network container.
+
+use crate::layer::{Layer, LayerCost, ParamSlot};
+use pgmr_tensor::{softmax, Tensor};
+
+/// A feed-forward network: an ordered stack of [`Layer`]s ending in a
+/// logit-producing head.
+///
+/// Besides the usual forward/backward API, `Network` supports an
+/// *activation hook* — a function applied to the activations after every
+/// layer. This is the mechanism `pgmr-precision` uses to reproduce the
+/// paper's variable-precision CUDA kernels: the hook quantizes every value
+/// at the simulated load/store boundary (§IV-A "truncating values of load
+/// and store instructions").
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    arch_id: String,
+    num_classes: usize,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            layers: self.layers.clone(),
+            arch_id: self.arch_id.clone(),
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Network")
+            .field("arch_id", &self.arch_id)
+            .field("num_classes", &self.num_classes)
+            .field("layers", &names)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network from its layers.
+    ///
+    /// `arch_id` is a stable identifier used by the serializer to verify a
+    /// parameter file matches the architecture it is loaded into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or `num_classes < 2`.
+    pub fn new(layers: Vec<Box<dyn Layer>>, arch_id: impl Into<String>, num_classes: usize) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        assert!(num_classes >= 2, "need at least two classes");
+        Network {
+            layers,
+            arch_id: arch_id.into(),
+            num_classes,
+        }
+    }
+
+    /// Stable architecture identifier.
+    pub fn arch_id(&self) -> &str {
+        &self.arch_id
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the forward pass, producing `[n, num_classes]` logits.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        assert_eq!(
+            x.shape().dims().last(),
+            Some(&self.num_classes),
+            "head produced wrong class count"
+        );
+        x
+    }
+
+    /// Forward pass with an activation hook applied to the input and to the
+    /// output of every layer — the reduced-precision load/store simulation
+    /// point.
+    pub fn forward_with_hook(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        hook: &dyn Fn(&mut Tensor),
+    ) -> Tensor {
+        let mut x = input.clone();
+        hook(&mut x);
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+            hook(&mut x);
+        }
+        x
+    }
+
+    /// Runs the backward pass from the loss gradient w.r.t. the logits.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let mut g = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Softmax class probabilities for a batch, one row per image
+    /// (inference mode).
+    pub fn predict_proba(&mut self, input: &Tensor) -> Vec<Vec<f32>> {
+        let logits = self.forward(input, false);
+        logits
+            .data()
+            .chunks(self.num_classes)
+            .map(softmax)
+            .collect()
+    }
+
+    /// Raw logits for a batch in inference mode (used by calibration, which
+    /// must rescale logits before the softmax).
+    pub fn predict_logits(&mut self, input: &Tensor) -> Vec<Vec<f32>> {
+        let logits = self.forward(input, false);
+        logits
+            .data()
+            .chunks(self.num_classes)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Visits every parameter slot in a stable order.
+    pub fn visit_slots(&mut self, f: &mut dyn FnMut(&mut ParamSlot)) {
+        for layer in &mut self.layers {
+            layer.visit_slots(f);
+        }
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grads(&mut self) {
+        self.visit_slots(&mut |slot| slot.zero_grad());
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_slots(&mut |slot| count += slot.value.len());
+        count
+    }
+
+    /// Applies `f` to every parameter value (used by RAMR weight
+    /// quantization).
+    pub fn map_params(&mut self, f: impl Fn(f32) -> f32) {
+        self.visit_slots(&mut |slot| slot.value.map_in_place(&f));
+    }
+
+    /// Snapshots all parameter values in visiting order.
+    pub fn state_dict(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_slots(&mut |slot| out.push(slot.value.clone()));
+        out
+    }
+
+    /// Restores parameter values from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor count or any shape disagrees with the network.
+    pub fn load_state(&mut self, state: &[Tensor]) {
+        let mut i = 0;
+        self.visit_slots(&mut |slot| {
+            assert!(i < state.len(), "state dict too short");
+            assert_eq!(
+                slot.value.shape(),
+                state[i].shape(),
+                "state tensor {i} shape mismatch"
+            );
+            slot.value = state[i].clone();
+            i += 1;
+        });
+        assert_eq!(i, state.len(), "state dict has {} extra tensors", state.len() - i);
+    }
+
+    /// Per-layer cost profile for the analytical performance model.
+    pub fn cost_profile(&self) -> Vec<LayerCost> {
+        self.layers.iter().map(|l| l.cost()).collect()
+    }
+
+    /// Switches Monte-Carlo dropout mode for every dropout layer in the
+    /// network (the MC-dropout uncertainty baseline keeps masks active at
+    /// inference and samples several stochastic passes).
+    pub fn set_mc_dropout(&mut self, on: bool) {
+        for layer in &mut self.layers {
+            layer.set_mc_dropout(on);
+        }
+    }
+
+    /// Visits every non-trainable state buffer (batch-norm running
+    /// statistics) in a stable order. Buffers are part of the serialized
+    /// model state: inference depends on them even though optimizers never
+    /// update them.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(rng: &mut StdRng) -> Network {
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(8, 6, rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(6, 3, rng)),
+        ];
+        Network::new(layers, "tiny", 3)
+    }
+
+    #[test]
+    fn forward_shape_and_proba_simplex() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::uniform(vec![4, 1, 2, 4], -1.0, 1.0, &mut rng);
+        let probs = net.predict_proba(&x);
+        assert_eq!(probs.len(), 4);
+        for row in &probs {
+            assert_eq!(row.len(), 3);
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn state_dict_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = tiny_net(&mut rng);
+        let state = net.state_dict();
+        let mut net2 = tiny_net(&mut rng); // different weights
+        net2.load_state(&state);
+        let x = Tensor::uniform(vec![2, 1, 2, 4], -1.0, 1.0, &mut rng);
+        assert_eq!(net.predict_proba(&x), net2.predict_proba(&x));
+    }
+
+    #[test]
+    fn hook_is_applied_between_layers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::uniform(vec![1, 1, 2, 4], -1.0, 1.0, &mut rng);
+        // Zeroing hook wipes the input, so the output depends only on biases
+        // (all zero at init) — logits must be exactly zero.
+        let out = net.forward_with_hook(&x, false, &|t: &mut Tensor| t.map_in_place(|_| 0.0));
+        assert_eq!(out.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn param_count_counts_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = tiny_net(&mut rng);
+        assert_eq!(net.param_count(), 8 * 6 + 6 + 6 * 3 + 3);
+    }
+
+    #[test]
+    fn zero_grads_zeroes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::uniform(vec![2, 1, 2, 4], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        net.backward(&Tensor::ones(y.shape().dims().to_vec()));
+        let mut grad_norm = 0.0;
+        net.visit_slots(&mut |s| grad_norm += s.grad.norm_sq());
+        assert!(grad_norm > 0.0);
+        net.zero_grads();
+        grad_norm = 0.0;
+        net.visit_slots(&mut |s| grad_norm += s.grad.norm_sq());
+        assert_eq!(grad_norm, 0.0);
+    }
+}

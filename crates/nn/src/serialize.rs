@@ -1,0 +1,308 @@
+//! Versioned binary parameter codec.
+//!
+//! Trained ensembles are cached to disk by the experiment harnesses so
+//! re-running a figure does not retrain every network. The format is a
+//! simple little-endian layout:
+//!
+//! ```text
+//! magic  b"PGMR"
+//! version u16
+//! arch_id len u16 + utf-8 bytes
+//! tensor count u32
+//! per tensor: rank u8, dims u32×rank, data f32×len
+//! buffer count u32
+//! per buffer: len u32, data f32×len      (batch-norm running statistics)
+//! ```
+
+use crate::network::Network;
+use bytes::{Buf, BufMut, BytesMut};
+use pgmr_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"PGMR";
+const VERSION: u16 = 2;
+
+/// Error decoding a parameter blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeParamsError {
+    /// The blob does not start with the expected magic bytes.
+    BadMagic,
+    /// The blob's format version is unsupported.
+    BadVersion(u16),
+    /// The blob was written for a different architecture.
+    ArchMismatch {
+        /// Architecture recorded in the blob.
+        expected: String,
+        /// Architecture of the network being loaded into.
+        found: String,
+    },
+    /// The blob ended before all declared data was read.
+    Truncated,
+    /// Tensor shapes in the blob disagree with the target network.
+    ShapeMismatch,
+}
+
+impl fmt::Display for DecodeParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeParamsError::BadMagic => write!(f, "missing PGMR magic bytes"),
+            DecodeParamsError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeParamsError::ArchMismatch { expected, found } => {
+                write!(f, "blob is for architecture {expected}, network is {found}")
+            }
+            DecodeParamsError::Truncated => write!(f, "blob truncated"),
+            DecodeParamsError::ShapeMismatch => write!(f, "tensor shape mismatch"),
+        }
+    }
+}
+
+impl Error for DecodeParamsError {}
+
+/// Serializes a network's parameters and state buffers (not its
+/// architecture) into a blob. Buffers — batch-norm running statistics —
+/// must round-trip too: inference depends on them even though they are not
+/// trainable.
+pub fn encode_params(net: &mut Network) -> Vec<u8> {
+    let state = net.state_dict();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    let arch = net.arch_id().as_bytes();
+    buf.put_u16_le(arch.len() as u16);
+    buf.put_slice(arch);
+    buf.put_u32_le(state.len() as u32);
+    for t in &state {
+        let dims = t.shape().dims();
+        buf.put_u8(dims.len() as u8);
+        for &d in dims {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    let mut buffers: Vec<Vec<f32>> = Vec::new();
+    net.visit_buffers(&mut |b| buffers.push(b.clone()));
+    buf.put_u32_le(buffers.len() as u32);
+    for b in &buffers {
+        buf.put_u32_le(b.len() as u32);
+        for &v in b {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Restores parameters into `net` from a blob produced by
+/// [`encode_params`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeParamsError`] when the blob is malformed, from a
+/// different architecture, or shape-incompatible.
+pub fn decode_params(net: &mut Network, blob: &[u8]) -> Result<(), DecodeParamsError> {
+    let mut buf = blob;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(DecodeParamsError::BadMagic);
+    }
+    buf.advance(4);
+    if buf.remaining() < 2 {
+        return Err(DecodeParamsError::Truncated);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeParamsError::BadVersion(version));
+    }
+    if buf.remaining() < 2 {
+        return Err(DecodeParamsError::Truncated);
+    }
+    let arch_len = buf.get_u16_le() as usize;
+    if buf.remaining() < arch_len {
+        return Err(DecodeParamsError::Truncated);
+    }
+    let arch = String::from_utf8_lossy(&buf[..arch_len]).into_owned();
+    buf.advance(arch_len);
+    if arch != net.arch_id() {
+        return Err(DecodeParamsError::ArchMismatch {
+            expected: arch,
+            found: net.arch_id().to_string(),
+        });
+    }
+    if buf.remaining() < 4 {
+        return Err(DecodeParamsError::Truncated);
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut state = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 1 {
+            return Err(DecodeParamsError::Truncated);
+        }
+        let rank = buf.get_u8() as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            if buf.remaining() < 4 {
+                return Err(DecodeParamsError::Truncated);
+            }
+            dims.push(buf.get_u32_le() as usize);
+        }
+        let len: usize = dims.iter().product();
+        if buf.remaining() < len * 4 {
+            return Err(DecodeParamsError::Truncated);
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(buf.get_f32_le());
+        }
+        state.push(Tensor::from_vec(dims, data));
+    }
+
+    // Buffers (batch-norm running statistics).
+    if buf.remaining() < 4 {
+        return Err(DecodeParamsError::Truncated);
+    }
+    let buffer_count = buf.get_u32_le() as usize;
+    let mut buffers = Vec::with_capacity(buffer_count);
+    for _ in 0..buffer_count {
+        if buf.remaining() < 4 {
+            return Err(DecodeParamsError::Truncated);
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len * 4 {
+            return Err(DecodeParamsError::Truncated);
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(buf.get_f32_le());
+        }
+        buffers.push(data);
+    }
+
+    // Validate shapes before mutating the network.
+    let mut ok = true;
+    {
+        let mut i = 0;
+        net.visit_slots(&mut |slot| {
+            if i >= state.len() || slot.value.shape() != state[i].shape() {
+                ok = false;
+            }
+            i += 1;
+        });
+        if i != state.len() {
+            ok = false;
+        }
+    }
+    {
+        let mut i = 0;
+        net.visit_buffers(&mut |b| {
+            if i >= buffers.len() || b.len() != buffers[i].len() {
+                ok = false;
+            }
+            i += 1;
+        });
+        if i != buffers.len() {
+            ok = false;
+        }
+    }
+    if !ok {
+        return Err(DecodeParamsError::ShapeMismatch);
+    }
+    net.load_state(&state);
+    let mut i = 0;
+    net.visit_buffers(&mut |b| {
+        b.copy_from_slice(&buffers[i]);
+        i += 1;
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build, ArchSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let spec = ArchSpec::convnet(1, 8, 8, 4);
+        let mut net = build(&spec, 3);
+        let blob = encode_params(&mut net);
+        let mut fresh = build(&spec, 99);
+        decode_params(&mut fresh, &blob).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::uniform(vec![2, 1, 8, 8], -1.0, 1.0, &mut rng);
+        assert_eq!(net.predict_proba(&x), fresh.predict_proba(&x));
+    }
+
+    #[test]
+    fn round_trip_preserves_batchnorm_running_stats() {
+        // Regression test: running statistics are not trainable parameters
+        // but inference depends on them; a codec that drops them silently
+        // collapses the accuracy of every reloaded BN network.
+        use crate::loss::softmax_cross_entropy;
+        use crate::optim::Sgd;
+        let spec = ArchSpec::resnet20_mini(1, 8, 8, 4);
+        let mut net = build(&spec, 3);
+        // A few training steps so running stats move off their defaults.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        for _ in 0..5 {
+            let x = Tensor::uniform(vec![8, 1, 8, 8], 0.0, 1.0, &mut rng);
+            net.zero_grads();
+            let logits = net.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 0, 1, 2, 3]);
+            net.backward(&grad);
+            opt.step(&mut net);
+        }
+        let blob = encode_params(&mut net);
+        let mut fresh = build(&spec, 77);
+        decode_params(&mut fresh, &blob).unwrap();
+        let x = Tensor::uniform(vec![4, 1, 8, 8], 0.0, 1.0, &mut rng);
+        assert_eq!(
+            net.predict_proba(&x),
+            fresh.predict_proba(&x),
+            "inference after reload must be bit-identical, including BN stats"
+        );
+        // And the buffers themselves round-tripped.
+        let mut orig_buffers = Vec::new();
+        net.visit_buffers(&mut |b| orig_buffers.push(b.clone()));
+        let mut new_buffers = Vec::new();
+        fresh.visit_buffers(&mut |b| new_buffers.push(b.clone()));
+        assert_eq!(orig_buffers, new_buffers);
+        assert!(!orig_buffers.is_empty(), "resnet must expose BN buffers");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let spec = ArchSpec::convnet(1, 8, 8, 4);
+        let mut net = build(&spec, 0);
+        assert_eq!(decode_params(&mut net, b"nope"), Err(DecodeParamsError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncated_blob() {
+        let spec = ArchSpec::convnet(1, 8, 8, 4);
+        let mut net = build(&spec, 0);
+        let blob = encode_params(&mut net);
+        let cut = &blob[..blob.len() / 2];
+        assert_eq!(decode_params(&mut net, cut), Err(DecodeParamsError::Truncated));
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let mut a = build(&ArchSpec::convnet(1, 8, 8, 4), 0);
+        let mut b = build(&ArchSpec::lenet5(1, 16, 16, 10), 0);
+        let blob = encode_params(&mut a);
+        match decode_params(&mut b, &blob) {
+            Err(DecodeParamsError::ArchMismatch { .. }) => {}
+            other => panic!("expected arch mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = DecodeParamsError::BadVersion(9);
+        assert!(err.to_string().contains('9'));
+    }
+}

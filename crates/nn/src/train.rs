@@ -1,0 +1,300 @@
+//! Mini-batch training loop with seeded shuffling.
+
+use crate::loss::softmax_cross_entropy;
+use crate::network::Network;
+use crate::optim::Sgd;
+use pgmr_tensor::{argmax, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Multiplicative LR decay applied at 50% and 75% of the epochs.
+    pub lr_decay: f32,
+    /// Seed for the per-epoch shuffle.
+    pub shuffle_seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            lr_decay: 0.1,
+            shuffle_seed: 0,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean loss per epoch, in order.
+    pub epoch_losses: Vec<f32>,
+    /// Accuracy over the training set after the final epoch.
+    pub final_train_accuracy: f64,
+}
+
+/// Drives SGD training of a [`Network`] on an in-memory dataset.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0` or `batch_size == 0`.
+    pub fn new(config: TrainConfig) -> Self {
+        assert!(config.epochs > 0, "epochs must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        Trainer { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` on `(images, labels)` and reports per-epoch losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or the image/label counts differ.
+    pub fn fit(&self, net: &mut Network, images: &[Tensor], labels: &[usize]) -> TrainReport {
+        assert!(!images.is_empty(), "training set is empty");
+        assert_eq!(images.len(), labels.len(), "image/label count mismatch");
+
+        let cfg = &self.config;
+        let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+        let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
+        let mut order: Vec<usize> = (0..images.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+        for epoch in 0..cfg.epochs {
+            // Step LR decay at 50% and 75% of the run.
+            if cfg.epochs >= 4 && (epoch == cfg.epochs / 2 || epoch == cfg.epochs * 3 / 4) {
+                opt.lr *= cfg.lr_decay;
+            }
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f32;
+            let mut batches = 0;
+            for chunk in order.chunks(cfg.batch_size) {
+                let batch_imgs: Vec<Tensor> = chunk.iter().map(|&i| images[i].clone()).collect();
+                let batch = Tensor::stack_images(&batch_imgs);
+                let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                net.zero_grads();
+                let logits = net.forward(&batch, true);
+                let (loss, grad) = softmax_cross_entropy(&logits, &batch_labels);
+                net.backward(&grad);
+                opt.step(net);
+                loss_sum += loss;
+                batches += 1;
+            }
+            epoch_losses.push(loss_sum / batches as f32);
+        }
+
+        let final_train_accuracy = accuracy(net, images, labels);
+        TrainReport {
+            epoch_losses,
+            final_train_accuracy,
+        }
+    }
+}
+
+/// Runs independent jobs on up to `max_threads` worker threads and returns
+/// their results in submission order.
+///
+/// PolygraphMR ensembles train N independent networks; on multi-core hosts
+/// this trains them concurrently. With `max_threads == 1` (or a single-core
+/// machine) it degrades to sequential execution with identical results —
+/// job outputs never depend on scheduling.
+///
+/// # Panics
+///
+/// Panics if a job panics.
+pub fn run_parallel<T, F>(jobs: Vec<F>, max_threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = max_threads.max(1).min(n);
+    if threads == 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let pending: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = pending[i].lock().unwrap().take().expect("job taken twice");
+                let out = job();
+                results.lock().unwrap()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("job result missing"))
+        .collect()
+}
+
+/// The host's available parallelism, defaulting to 1 when unknown.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Classification accuracy of `net` over a labeled set, evaluated in
+/// inference mode with mini-batches.
+///
+/// # Panics
+///
+/// Panics if the set is empty or counts mismatch.
+pub fn accuracy(net: &mut Network, images: &[Tensor], labels: &[usize]) -> f64 {
+    assert!(!images.is_empty(), "evaluation set is empty");
+    assert_eq!(images.len(), labels.len(), "image/label count mismatch");
+    let mut correct = 0usize;
+    for (chunk_imgs, chunk_labels) in images.chunks(64).zip(labels.chunks(64)) {
+        let batch = Tensor::stack_images(chunk_imgs);
+        let probs = net.predict_proba(&batch);
+        for (row, &label) in probs.iter().zip(chunk_labels) {
+            if argmax(row) == label {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / images.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::layers::{Dense, Flatten, Relu};
+
+    fn make_xor_like_dataset() -> (Vec<Tensor>, Vec<usize>) {
+        // Two 2x2 patterns per class, plus noise-free copies: trivially
+        // separable by a small MLP.
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for rep in 0..20 {
+            let jitter = rep as f32 * 0.001;
+            images.push(Tensor::from_vec(vec![1, 1, 2, 2], vec![1. + jitter, 0., 0., 1.]));
+            labels.push(0);
+            images.push(Tensor::from_vec(vec![1, 1, 2, 2], vec![0., 1. + jitter, 1., 0.]));
+            labels.push(1);
+        }
+        (images, labels)
+    }
+
+    #[test]
+    fn fit_learns_separable_patterns() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 2, &mut rng)),
+        ];
+        let mut net = Network::new(layers, "xor", 2);
+        let (images, labels) = make_xor_like_dataset();
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            lr: 0.2,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut net, &images, &labels);
+        assert_eq!(report.epoch_losses.len(), 8);
+        assert!(report.final_train_accuracy > 0.95);
+        assert!(report.epoch_losses.last().unwrap() < &0.2);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seeds() {
+        let build = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            let layers: Vec<Box<dyn Layer>> = vec![
+                Box::new(Flatten::new()),
+                Box::new(Dense::new(4, 4, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(4, 2, &mut rng)),
+            ];
+            Network::new(layers, "det", 2)
+        };
+        let (images, labels) = make_xor_like_dataset();
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
+        let mut a = build();
+        let mut b = build();
+        let ra = Trainer::new(cfg.clone()).fit(&mut a, &images, &labels);
+        let rb = Trainer::new(cfg).fit(&mut b, &images, &labels);
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+        assert_eq!(a.state_dict(), b.state_dict());
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<_> = (0..9).map(|i| move || i * i).collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64]);
+    }
+
+    #[test]
+    fn run_parallel_single_thread_matches() {
+        let jobs: Vec<_> = (0..5).map(|i| move || i + 100).collect();
+        assert_eq!(run_parallel(jobs, 1), vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn run_parallel_empty_is_empty() {
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = Vec::new();
+        assert!(run_parallel(jobs, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_rejects_empty_dataset() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let layers: Vec<Box<dyn Layer>> =
+            vec![Box::new(Flatten::new()), Box::new(Dense::new(4, 2, &mut rng))];
+        let mut net = Network::new(layers, "e", 2);
+        Trainer::new(TrainConfig::default()).fit(&mut net, &[], &[]);
+    }
+}

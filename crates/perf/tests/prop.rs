@@ -1,0 +1,83 @@
+//! Property-based tests for the analytical GPU cost model.
+
+use pgmr_nn::LayerCost;
+use pgmr_perf::{CostModel, GpuModel, InferenceCost, Schedule};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = Vec<LayerCost>> {
+    prop::collection::vec(
+        (1u64..1_000_000, 1u64..100_000, 1u64..100_000).prop_map(|(macs, params, outs)| {
+            LayerCost { kind: "layer", macs, param_elems: params, output_elems: outs }
+        }),
+        1..12,
+    )
+}
+
+proptest! {
+    /// Cost is monotone in precision: more bits never costs less memory
+    /// traffic, energy, or latency.
+    #[test]
+    fn cost_monotone_in_bits(profile in profile_strategy()) {
+        let model = CostModel::new(GpuModel::titan_x_pascal());
+        let mut prev: Option<InferenceCost> = None;
+        for bits in [10u32, 14, 17, 24, 32] {
+            let c = model.network_cost(&profile, bits);
+            prop_assert!(c.latency_s > 0.0 && c.energy_j > 0.0);
+            if let Some(p) = prev {
+                prop_assert!(c.bytes >= p.bytes);
+                prop_assert!(c.energy_j >= p.energy_j - 1e-15);
+                prop_assert!(c.latency_s >= p.latency_s - 1e-15);
+            }
+            prev = Some(c);
+        }
+    }
+
+    /// MACs are precision-independent; bytes scale with bit width.
+    #[test]
+    fn macs_invariant(profile in profile_strategy(), bits in 10u32..=32) {
+        let model = CostModel::new(GpuModel::titan_x_pascal());
+        let c = model.network_cost(&profile, bits);
+        let total_macs: u64 = profile.iter().map(|l| l.macs).sum();
+        prop_assert_eq!(c.macs, total_macs);
+    }
+
+    /// Sequential system cost is exactly the component sum; parallel
+    /// latency is bounded between max-batch and the sequential sum, and
+    /// energy is schedule-invariant.
+    #[test]
+    fn schedule_composition(costs in prop::collection::vec(
+        (1e-6f64..1e-2, 1e-6f64..1.0).prop_map(|(lat, en)| InferenceCost {
+            latency_s: lat, energy_j: en, macs: 1, bytes: 1,
+        }),
+        1..10,
+    ), gpus in 1usize..4) {
+        let model = CostModel::new(GpuModel::titan_x_pascal());
+        let seq = model.system_cost(&costs, Schedule::Sequential);
+        let lat_sum: f64 = costs.iter().map(|c| c.latency_s).sum();
+        let en_sum: f64 = costs.iter().map(|c| c.energy_j).sum();
+        prop_assert!((seq.latency_s - lat_sum).abs() < 1e-12);
+        prop_assert!((seq.energy_j - en_sum).abs() < 1e-12);
+
+        let par = model.system_cost(&costs, Schedule::Parallel(gpus));
+        prop_assert!((par.energy_j - en_sum).abs() < 1e-12, "energy is schedule-invariant");
+        prop_assert!(par.latency_s <= seq.latency_s + 1e-12);
+        let max_lat = costs.iter().map(|c| c.latency_s).fold(0.0, f64::max);
+        prop_assert!(par.latency_s >= max_lat - 1e-12);
+        // One GPU degenerates to sequential.
+        let par1 = model.system_cost(&costs, Schedule::Parallel(1));
+        prop_assert!((par1.latency_s - seq.latency_s).abs() < 1e-12);
+    }
+
+    /// Doubling a profile's layers doubles its cost components (additivity).
+    #[test]
+    fn cost_is_additive(profile in profile_strategy(), bits in 10u32..=32) {
+        let model = CostModel::new(GpuModel::titan_x_pascal());
+        let single = model.network_cost(&profile, bits);
+        let mut doubled = profile.clone();
+        doubled.extend(profile.iter().cloned());
+        let double = model.network_cost(&doubled, bits);
+        prop_assert!((double.latency_s - 2.0 * single.latency_s).abs() < 1e-9 * single.latency_s.max(1.0));
+        prop_assert!((double.energy_j - 2.0 * single.energy_j).abs() < 1e-9 * single.energy_j.max(1.0));
+        prop_assert_eq!(double.macs, 2 * single.macs);
+    }
+}

@@ -1,0 +1,71 @@
+//! # pgmr-preprocess
+//!
+//! The paper's Layer 1: a pool of image preprocessors used to synthesize
+//! behavior diversity across the CNNs of a PolygraphMR system (Table I),
+//! plus the `Scale 80%` preprocessor used as a comparison point in the
+//! paper's Fig. 8.
+//!
+//! | Name | Functionality (paper's wording) |
+//! |---|---|
+//! | `AdHist` | locally adjusts image intensities to enhance contrast |
+//! | `ConNorm` | locally normalizes image contrast |
+//! | `FlipX` | flips image in the horizontal axis |
+//! | `FlipY` | flips image in the vertical axis |
+//! | `Gamma(γ)` | gamma correction, controls the overall brightness |
+//! | `Hist` | adjusts image intensities to enhance contrast |
+//! | `ImAdj` | maps image intensity values to a new range |
+//! | `Scale(p)` | down- and up-scales by `p`% to soften noise (§III-G) |
+//!
+//! All preprocessors consume and produce `[1, c, h, w]` tensors with values
+//! in `[0, 1]` and are pure functions: the same input always maps to the
+//! same output.
+//!
+//! ## Example
+//!
+//! ```
+//! use pgmr_preprocess::Preprocessor;
+//! use pgmr_tensor::Tensor;
+//!
+//! let img = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.1, 0.9, 0.4, 0.6]);
+//! let flipped = Preprocessor::FlipX.apply(&img);
+//! assert_eq!(flipped.data(), &[0.9, 0.1, 0.6, 0.4]);
+//! // An involution: flipping twice is the identity.
+//! assert_eq!(Preprocessor::FlipX.apply(&flipped), img);
+//! ```
+
+mod ops;
+
+pub use ops::Preprocessor;
+
+/// The standard candidate pool used by the PolygraphMR system builder:
+/// every Table I preprocessor (with the paper's two gamma levels) plus
+/// `Scale 80%`.
+pub fn standard_pool() -> Vec<Preprocessor> {
+    vec![
+        Preprocessor::AdHist,
+        Preprocessor::ConNorm,
+        Preprocessor::FlipX,
+        Preprocessor::FlipY,
+        Preprocessor::Gamma(1.5),
+        Preprocessor::Gamma(2.0),
+        Preprocessor::Hist,
+        Preprocessor::ImAdj,
+        Preprocessor::Scale(80),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_pool_has_unique_names() {
+        let pool = standard_pool();
+        let mut names: Vec<String> = pool.iter().map(|p| p.name()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, 9);
+    }
+}

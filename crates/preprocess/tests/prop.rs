@@ -1,0 +1,88 @@
+//! Property-based tests for the preprocessor pool.
+
+use pgmr_preprocess::{standard_pool, Preprocessor};
+use pgmr_tensor::Tensor;
+use proptest::prelude::*;
+
+fn image_strategy() -> impl Strategy<Value = Tensor> {
+    (1usize..=3, 4usize..16, 4usize..16, 0u64..1000).prop_map(|(c, h, w, seed)| {
+        use rand::SeedableRng;
+        let c = if c == 2 { 3 } else { c }; // 1 or 3 channels
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::uniform(vec![1, c, h, w], 0.0, 1.0, &mut rng)
+    })
+}
+
+proptest! {
+    /// Every preprocessor is shape-preserving, range-preserving, finite,
+    /// and deterministic.
+    #[test]
+    fn preprocessors_are_well_behaved(img in image_strategy()) {
+        for p in standard_pool() {
+            let out1 = p.apply(&img);
+            let out2 = p.apply(&img);
+            prop_assert_eq!(out1.shape(), img.shape(), "{} changed shape", p);
+            prop_assert!(out1.min() >= 0.0 && out1.max() <= 1.0, "{} out of range", p);
+            prop_assert!(!out1.has_non_finite(), "{} non-finite", p);
+            prop_assert_eq!(&out1, &out2, "{} non-deterministic", p);
+        }
+    }
+
+    /// Flips are involutions and are intensity-preserving (same multiset
+    /// of pixel values).
+    #[test]
+    fn flips_are_permutations(img in image_strategy()) {
+        for p in [Preprocessor::FlipX, Preprocessor::FlipY] {
+            let out = p.apply(&img);
+            prop_assert_eq!(p.apply(&out), img.clone(), "{} not an involution", p);
+            let mut a: Vec<u32> = img.data().iter().map(|v| v.to_bits()).collect();
+            let mut b: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "{} changed pixel values", p);
+        }
+    }
+
+    /// Gamma correction is monotone: it preserves the per-pixel order of
+    /// any two images ordered pointwise.
+    #[test]
+    fn gamma_is_monotone(img in image_strategy(), g in 0.5f32..3.0) {
+        let brighter = img.map(|v| (v + 0.1).min(1.0));
+        let a = Preprocessor::Gamma(g).apply(&img);
+        let b = Preprocessor::Gamma(g).apply(&brighter);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!(y >= x);
+        }
+    }
+
+    /// Gamma(1) is the identity on in-range images.
+    #[test]
+    fn gamma_one_is_identity(img in image_strategy()) {
+        let out = Preprocessor::Gamma(1.0).apply(&img);
+        for (a, b) in out.data().iter().zip(img.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Scale(100) is the identity; smaller percentages never increase the
+    /// image's total variation.
+    #[test]
+    fn scale_shrinks_total_variation(img in image_strategy(), p in 30u32..100) {
+        let tv = |t: &Tensor| -> f32 {
+            let (_, c, h, w) = t.shape().as_nchw();
+            let d = t.data();
+            let mut acc = 0.0;
+            for ch in 0..c {
+                for y in 0..h {
+                    for x in 0..w.saturating_sub(1) {
+                        acc += (d[ch*h*w + y*w + x + 1] - d[ch*h*w + y*w + x]).abs();
+                    }
+                }
+            }
+            acc
+        };
+        prop_assert_eq!(Preprocessor::Scale(100).apply(&img), img.clone());
+        let out = Preprocessor::Scale(p).apply(&img);
+        prop_assert!(tv(&out) <= tv(&img) * 1.05, "Scale({}) raised TV", p);
+    }
+}

@@ -1,0 +1,225 @@
+//! Blocked single-precision matrix multiplication.
+//!
+//! This is the computational core of the CNN substrate: convolutions are
+//! lowered to GEMM via im2col (see [`crate::conv`]), and fully-connected
+//! layers call GEMM directly. The implementation is a straightforward
+//! cache-blocked triple loop with a `k`-major inner loop, which is within a
+//! small factor of BLAS for the matrix sizes this project uses (hundreds of
+//! rows/columns) while keeping the crate dependency-free.
+
+/// Computes `c += a * b` where `a` is `m×k`, `b` is `k×n`, and `c` is `m×n`,
+/// all row-major.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+///
+/// # Example
+///
+/// ```
+/// use pgmr_tensor::gemm;
+///
+/// let a = [1., 2., 3., 4.]; // 2x2
+/// let b = [5., 6., 7., 8.]; // 2x2
+/// let mut c = [0.0f32; 4];
+/// gemm(2, 2, 2, &a, &b, &mut c);
+/// assert_eq!(c, [19., 22., 43., 50.]);
+/// ```
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "a must be {m}x{k}");
+    assert_eq!(b.len(), k * n, "b must be {k}x{n}");
+    assert_eq!(c.len(), m * n, "c must be {m}x{n}");
+
+    // Block sizes chosen so one a-block plus one b-block fit in L1.
+    const MB: usize = 32;
+    const KB: usize = 64;
+
+    for i0 in (0..m).step_by(MB) {
+        let i_hi = (i0 + MB).min(m);
+        for k0 in (0..k).step_by(KB) {
+            let k_hi = (k0 + KB).min(k);
+            for i in i0..i_hi {
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for p in k0..k_hi {
+                    let a_ip = a[i * k + p];
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
+                        *c_val += a_ip * b_val;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes `c = a * b + bias_broadcast` where `bias` has length `n` and is
+/// added to every row of the `m×n` result. `c` is overwritten.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_bias(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32]) {
+    assert_eq!(bias.len(), n, "bias must have length {n}");
+    assert_eq!(c.len(), m * n, "c must be {m}x{n}");
+    for i in 0..m {
+        c[i * n..(i + 1) * n].copy_from_slice(bias);
+    }
+    gemm(m, k, n, a, b, c);
+}
+
+/// Computes `c += a^T * b` where `a` is `k×m` (so `a^T` is `m×k`), `b` is
+/// `k×n`, and `c` is `m×n`. Used by backward passes to form weight
+/// gradients without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "a must be {k}x{m}");
+    assert_eq!(b.len(), k * n, "b must be {k}x{n}");
+    assert_eq!(c.len(), m * n, "c must be {m}x{n}");
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
+                *c_val += a_pi * b_val;
+            }
+        }
+    }
+}
+
+/// Computes `c += a * b^T` where `a` is `m×k`, `b` is `n×k` (so `b^T` is
+/// `k×n`), and `c` is `m×n`. Used by backward passes to propagate input
+/// gradients.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "a must be {m}x{k}");
+    assert_eq!(b.len(), n * k, "b must be {n}x{k}");
+    assert_eq!(c.len(), m * n, "c must be {m}x{n}");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_val) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&a_v, &b_v) in a_row.iter().zip(b_row) {
+                acc += a_v * b_v;
+            }
+            *c_val += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = vec![1., 0., 0., 1.];
+        let b = vec![3., 4., 5., 6.];
+        let mut c = vec![0.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn matches_naive_on_random_odd_sizes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (33, 65, 17), (64, 64, 64), (70, 1, 70)] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            let expect = naive(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-4, "mismatch {x} vs {y} at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = vec![1., 2.];
+        let b = vec![3., 4.];
+        let mut c = vec![10.0; 1];
+        gemm(1, 2, 1, &a, &b, &mut c);
+        assert_eq!(c[0], 10.0 + 11.0);
+    }
+
+    #[test]
+    fn gemm_bias_broadcasts_rows() {
+        let a = vec![1., 0., 0., 1.]; // identity
+        let b = vec![1., 2., 3., 4.];
+        let bias = vec![10., 20.];
+        let mut c = vec![0.0; 4];
+        gemm_bias(2, 2, 2, &a, &b, &bias, &mut c);
+        assert_eq!(c, vec![11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (m, k, n) = (5, 7, 3);
+        let a: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // a_t[i*k+p] = a[p*m+i]
+        let mut a_t = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a_t[i * k + p] = a[p * m + i];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        gemm_at_b(m, k, n, &a, &b, &mut c1);
+        let c2 = naive(m, k, n, &a_t, &b);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (m, k, n) = (4, 6, 5);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut b_t = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b_t[p * n + j] = b[j * k + p];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        gemm_a_bt(m, k, n, &a, &b, &mut c1);
+        let c2 = naive(m, k, n, &a, &b_t);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

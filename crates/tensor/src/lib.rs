@@ -1,0 +1,41 @@
+//! # pgmr-tensor
+//!
+//! A minimal, dependency-light tensor and linear-algebra substrate used by the
+//! PolygraphMR reproduction. It provides:
+//!
+//! * [`Tensor`] — an owned, dense, row-major `f32` tensor with an arbitrary
+//!   number of dimensions (the networks in this repository use the NCHW
+//!   convention for image batches),
+//! * [`Shape`] — lightweight shape algebra with strides and bounds checking,
+//! * [`gemm()`](gemm::gemm) — a blocked single-precision matrix multiply,
+//! * [`conv`] — im2col/col2im convolution lowering,
+//! * [`ops`] — elementwise and reduction kernels (ReLU, softmax, argmax, …).
+//!
+//! The crate is deliberately CPU-only and deterministic: every random
+//! constructor takes an explicit [`rand::Rng`], so a seeded generator
+//! reproduces identical tensors across runs. This determinism is load-bearing
+//! for the experiment harnesses, which must regenerate the paper's tables and
+//! figures bit-identically between invocations.
+//!
+//! ## Example
+//!
+//! ```
+//! use pgmr_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Tensor::zeros(vec![2, 3]);
+//! let c = a.add(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod conv;
+pub mod gemm;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use gemm::{gemm, gemm_bias};
+pub use ops::{argmax, log_softmax, relu, relu_backward, softmax, softmax_in_place};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,218 @@
+//! Shape algebra for dense row-major tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense, row-major tensor.
+///
+/// A `Shape` records the extent of every dimension. The last dimension is the
+/// fastest-varying one (C order). An empty dimension list denotes a scalar
+/// with one element.
+///
+/// # Example
+///
+/// ```
+/// use pgmr_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; zero-sized tensors are never
+    /// meaningful in this codebase and almost always indicate a bug.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Shape { dims }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the shape holds exactly one element (rank 0 counts).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Maps a multi-dimensional index to its flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank mismatches or any coordinate is out of
+    /// bounds.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut flat = 0;
+        let strides = self.strides();
+        for (i, (&ix, &dim)) in index.iter().zip(&self.dims).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for dim {i} (extent {dim})");
+            flat += ix * strides[i];
+        }
+        flat
+    }
+
+    /// Interprets this shape as an NCHW image batch `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub fn as_nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected rank-4 NCHW shape, got {self:?}");
+        (self.dims[0], self.dims[1], self.dims[2], self.dims[3])
+    }
+
+    /// Returns a new shape with the same element count but different
+    /// dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(&self, dims: Vec<usize>) -> Shape {
+        let new = Shape::new(dims);
+        assert_eq!(
+            self.len(),
+            new.len(),
+            "cannot reshape {self:?} ({} elems) into {new:?} ({} elems)",
+            self.len(),
+            new.len()
+        );
+        new
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", parts.join("x"))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(vec![4, 3, 2]);
+        assert_eq!(s.strides(), vec![6, 2, 1]);
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let s = Shape::new(vec![2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let flat = s.flat_index(&[i, j, k]);
+                    assert!(flat < s.len());
+                    assert!(seen.insert(flat), "duplicate flat index {flat}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_rejects_out_of_bounds() {
+        Shape::new(vec![2, 2]).flat_index(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        Shape::new(vec![3, 0]);
+    }
+
+    #[test]
+    fn reshape_preserves_len() {
+        let s = Shape::new(vec![6, 4]);
+        let r = s.reshaped(vec![2, 12]);
+        assert_eq!(r.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_mismatched_len() {
+        Shape::new(vec![6, 4]).reshaped(vec![5, 5]);
+    }
+
+    #[test]
+    fn nchw_accessor() {
+        let s = Shape::new(vec![8, 3, 32, 32]);
+        assert_eq!(s.as_nchw(), (8, 3, 32, 32));
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2x3]");
+    }
+}

@@ -1,0 +1,51 @@
+//! Dumps a gallery of generated samples — one clean example per class plus
+//! one example of each corruption characteristic (the paper's Fig. 3
+//! categories) — as viewable `.pgm`/`.ppm` files.
+//!
+//! Run with `cargo run --release --example dataset_gallery`; files land in
+//! `target/gallery/`.
+
+use pgmr::datasets::export::write_netpbm;
+use pgmr::datasets::{families, CorruptionTag, Split};
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = PathBuf::from("target/gallery");
+    std::fs::create_dir_all(&out_dir)?;
+
+    let cfg = families::synth_objects(202);
+    let data = cfg.generate(Split::Test, 400);
+    let ext = if cfg.channels == 1 { "pgm" } else { "ppm" };
+
+    // One clean sample per class.
+    let mut done = vec![false; cfg.classes];
+    for ((img, &label), meta) in data.images().iter().zip(data.labels()).zip(data.metas()) {
+        if meta.is_clean() && !done[label] {
+            let path = out_dir.join(format!("class{label:02}_clean.{ext}"));
+            write_netpbm(img, &path)?;
+            done[label] = true;
+        }
+    }
+
+    // One sample per corruption tag.
+    for tag in CorruptionTag::ALL {
+        if let Some(((img, &label), _)) = data
+            .images()
+            .iter()
+            .zip(data.labels())
+            .zip(data.metas())
+            .find(|((_, _), meta)| meta.has(tag))
+        {
+            let path = out_dir.join(format!("{tag}_class{label:02}.{ext}"));
+            write_netpbm(img, &path)?;
+        }
+    }
+
+    let count = std::fs::read_dir(&out_dir)?.count();
+    println!("wrote {count} images to {}", out_dir.display());
+    println!("clean per-class prototypes plus one example each of:");
+    for tag in CorruptionTag::ALL {
+        println!("  {tag}  ({})", tag.characteristic());
+    }
+    Ok(())
+}

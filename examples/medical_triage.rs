@@ -1,0 +1,64 @@
+//! Operating-point selection from user reliability demands — the paper's
+//! precision-medicine motivation: a triage classifier must bound the rate
+//! of undetected mispredictions (FP), deferring everything else to a
+//! clinician. The Pareto frontier computed during offline profiling lets
+//! the same trained system serve different demands without retraining
+//! (§III-E).
+//!
+//! Run with `cargo run --release --example medical_triage`.
+
+use pgmr::core::builder::SystemBuilder;
+use pgmr::core::profile::{select_operating_point, Demand};
+use pgmr::core::suite::{Benchmark, Scale};
+use pgmr::datasets::Split;
+
+fn main() {
+    let bench = Benchmark::resnet20_objects(Scale::Tiny);
+    println!("building a 4-network PolygraphMR on {} ...", bench.id);
+    let built = SystemBuilder::new(&bench).max_networks(4).build(9);
+    println!(
+        "validation Pareto frontier has {} operating points",
+        built.frontier.len()
+    );
+    println!("{:>10} {:>10} {:>10} {:>6}", "val TP%", "val FP%", "Thr_Conf", "Freq");
+    for p in &built.frontier {
+        println!(
+            "{:>10.1} {:>10.2} {:>10.2} {:>6}",
+            p.tp * 100.0,
+            p.fp * 100.0,
+            p.tag.conf,
+            p.tag.freq
+        );
+    }
+
+    let mut system = built.system;
+    let test = bench.data(Split::Test);
+
+    // Three stakeholders, three demands, one trained system.
+    let demands = [
+        ("screening (keep throughput)", Demand::TpAtLeast(built.baseline_accuracy)),
+        ("diagnosis (FP <= 5%)", Demand::FpAtMost(0.05)),
+        ("high-stakes (FP <= 1%)", Demand::FpAtMost(0.01)),
+    ];
+    println!();
+    for (name, demand) in demands {
+        match select_operating_point(&built.frontier, demand) {
+            Some(point) => {
+                system.set_thresholds(point.tag);
+                let (summary, _) = system.evaluate(&test);
+                println!(
+                    "{name:<28} -> Thr_Conf {:.2} Freq {} | test TP {:.1}% FP {:.2}% deferred {:.1}%",
+                    point.tag.conf,
+                    point.tag.freq,
+                    summary.tp * 100.0,
+                    summary.fp * 100.0,
+                    summary.unreliable() * 100.0
+                );
+            }
+            None => println!("{name:<28} -> no operating point satisfies this demand"),
+        }
+    }
+    println!();
+    println!("tighter FP demands defer more cases to the clinician (higher unreliable share)");
+    println!("while the undetected-misprediction rate drops.");
+}

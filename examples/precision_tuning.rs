@@ -1,0 +1,64 @@
+//! RAMR bit-width exploration: how narrow can each network in a
+//! PolygraphMR system run before accuracy suffers, and what does the
+//! narrowing buy in modeled energy (§III-D)?
+//!
+//! Run with `cargo run --release --example precision_tuning`.
+
+use pgmr::core::builder::SystemBuilder;
+use pgmr::core::ramr::{min_bits_within, precision_sweep};
+use pgmr::core::suite::{Benchmark, Scale};
+use pgmr::datasets::Split;
+use pgmr::perf::{CostModel, GpuModel, Schedule};
+use pgmr::preprocess::Preprocessor;
+
+fn main() {
+    let bench = Benchmark::convnet_objects(Scale::Tiny);
+    println!("building a 4-network PolygraphMR on {} ...", bench.id);
+    let built = SystemBuilder::new(&bench).max_networks(4).build(5);
+    let baseline = bench.member(Preprocessor::Identity, 5);
+    let members: Vec<_> = built
+        .system
+        .ensemble()
+        .members()
+        .iter()
+        .map(|m| (*m).clone())
+        .collect();
+
+    let test = bench.data(Split::Test);
+    let bits = [32u32, 20, 17, 16, 15, 14, 13, 12, 11, 10];
+    let points = precision_sweep(&baseline, &members, &test, &bits);
+
+    println!();
+    println!("{:>6} {:>14} {:>14}", "bits", "baseline acc%", "PGMR acc%");
+    for p in &points {
+        println!(
+            "{:>6} {:>14.1} {:>14.1}",
+            p.bits,
+            p.baseline_accuracy * 100.0,
+            p.system_accuracy * 100.0
+        );
+    }
+
+    let tol = 0.02;
+    let base_bits = min_bits_within(&points, |p| p.baseline_accuracy, tol);
+    let pgmr_bits = min_bits_within(&points, |p| p.system_accuracy, tol);
+    println!();
+    println!("narrowest width within {:.0} pp of full precision:", tol * 100.0);
+    println!("  standalone baseline : {base_bits} bits");
+    println!("  PolygraphMR members : {pgmr_bits} bits");
+
+    // What the narrowing buys, on the modeled GPU.
+    let model = CostModel::new(GpuModel::scaled_titan_x());
+    let profile = baseline.network().cost_profile();
+    let full = model.network_cost(&profile, 32);
+    let narrow = model.network_cost(&profile, pgmr_bits);
+    let sys_full = model.system_cost(&vec![full; members.len()], Schedule::Sequential);
+    let sys_narrow = model.system_cost(&vec![narrow; members.len()], Schedule::Sequential);
+    println!();
+    println!(
+        "modeled 4-network system energy: {:.1}x baseline at fp32, {:.1}x at {} bits",
+        sys_full.energy_j / full.energy_j,
+        sys_narrow.energy_j / full.energy_j,
+        pgmr_bits
+    );
+}

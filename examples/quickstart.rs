@@ -1,0 +1,62 @@
+//! Quickstart: build a PolygraphMR system for the digit benchmark and ask
+//! it which predictions to trust.
+//!
+//! Run with `cargo run --release --example quickstart`. Uses the tiny
+//! experiment scale so it finishes in seconds.
+
+use pgmr::core::builder::SystemBuilder;
+use pgmr::core::suite::{Benchmark, Scale};
+use pgmr::core::Verdict;
+use pgmr::datasets::Split;
+
+fn main() {
+    // 1. Pick a benchmark: the MNIST/LeNet-5 analog at the fast scale.
+    let bench = Benchmark::lenet5_digits(Scale::Tiny);
+
+    // 2. Let the greedy builder assemble a 4-network PolygraphMR:
+    //    it trains the ORG baseline plus candidate preprocessed networks,
+    //    then keeps the preprocessors that detect the most baseline errors
+    //    while preserving every baseline-correct answer (TP = 100%).
+    println!("building a 4-network PolygraphMR (trains several small CNNs)...");
+    let built = SystemBuilder::new(&bench).max_networks(4).build(7);
+    println!(
+        "selected configuration: {}",
+        built
+            .configuration
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "operating point: Thr_Conf={:.2} Thr_Freq={} (val TP {:.1}%, val FP {:.1}%)",
+        built.operating_point.tag.conf,
+        built.operating_point.tag.freq,
+        built.operating_point.tp * 100.0,
+        built.operating_point.fp * 100.0,
+    );
+
+    // 3. Classify fresh inputs and split them by reliability verdict.
+    let mut system = built.system;
+    let test = bench.data(Split::Test);
+    let mut reliable_correct = 0;
+    let mut reliable_wrong = 0;
+    let mut flagged = 0;
+    for (image, &label) in test.images().iter().zip(test.labels()).take(100) {
+        match system.infer(image) {
+            Verdict::Reliable { class, .. } => {
+                if class == label {
+                    reliable_correct += 1;
+                } else {
+                    reliable_wrong += 1;
+                }
+            }
+            Verdict::Unreliable { .. } => flagged += 1,
+        }
+    }
+    println!();
+    println!("on 100 test images:");
+    println!("  emitted reliable and correct : {reliable_correct}");
+    println!("  emitted reliable but WRONG   : {reliable_wrong}   <- undetected mispredictions");
+    println!("  flagged unreliable           : {flagged}   <- deferred to a fallback/human");
+}

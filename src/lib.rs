@@ -1,0 +1,40 @@
+//! # pgmr — PolygraphMR reproduction facade
+//!
+//! One-stop re-exports of the full PolygraphMR workspace, so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`core`] — the PolygraphMR system itself (`polygraph-mr`),
+//! * [`nn`] — the from-scratch CNN framework,
+//! * [`tensor`] — the tensor substrate,
+//! * [`datasets`] — the synthetic dataset generators,
+//! * [`preprocess`] — the Layer-1 preprocessor pool,
+//! * [`precision`] — reduced-precision inference (RAMR substrate),
+//! * [`perf`] — the analytical GPU cost model,
+//! * [`metrics`] — reliability metrics and Pareto tools,
+//! * [`calibration`] — temperature scaling.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use pgmr::core::suite::{Benchmark, Scale};
+//! use pgmr::core::builder::SystemBuilder;
+//! use pgmr::datasets::Split;
+//!
+//! let bench = Benchmark::lenet5_digits(Scale::Tiny);
+//! let built = SystemBuilder::new(&bench).max_networks(3).build(7);
+//! println!("chosen preprocessors: {:?}", built.configuration);
+//! let test = bench.data(Split::Test);
+//! let mut system = built.system;
+//! let (summary, _) = system.evaluate(&test);
+//! println!("TP {:.1}%  FP {:.1}%", summary.tp * 100.0, summary.fp * 100.0);
+//! ```
+
+pub use pgmr_calibration as calibration;
+pub use pgmr_datasets as datasets;
+pub use pgmr_metrics as metrics;
+pub use pgmr_nn as nn;
+pub use pgmr_perf as perf;
+pub use pgmr_precision as precision;
+pub use pgmr_preprocess as preprocess;
+pub use pgmr_tensor as tensor;
+pub use polygraph_mr as core;

@@ -1,0 +1,222 @@
+//! End-to-end integration tests spanning the whole workspace: dataset
+//! generation → training → system building → profiling → inference,
+//! plus RAMR and RADE behavior on genuinely trained networks.
+
+use pgmr::core::builder::SystemBuilder;
+use pgmr::core::decision::{DecisionEngine, Thresholds};
+use pgmr::core::evaluate;
+use pgmr::core::profile::{profile_thresholds, select_operating_point, Demand};
+use pgmr::core::rade::{contributions, StagedEngine};
+use pgmr::core::suite::{Benchmark, Scale};
+use pgmr::datasets::Split;
+use pgmr::precision::Precision;
+use pgmr::preprocess::Preprocessor;
+
+fn isolated_cache() {
+    // Share one cache dir across tests in this binary; keyed by pid so
+    // parallel workspaces don't collide.
+    let dir = std::env::temp_dir().join(format!("pgmr-it-cache-{}", std::process::id()));
+    std::env::set_var("PGMR_CACHE_DIR", dir);
+}
+
+#[test]
+fn full_pipeline_builds_profiles_and_infers() {
+    isolated_cache();
+    let bench = Benchmark::lenet5_digits(Scale::Tiny);
+    let built = SystemBuilder::new(&bench)
+        .candidates(vec![
+            Preprocessor::FlipX,
+            Preprocessor::FlipY,
+            Preprocessor::Gamma(2.0),
+        ])
+        .max_networks(3)
+        .build(21);
+
+    // The builder must honor the TP floor on validation data (or fall back
+    // to the best frontier point).
+    assert!(built.operating_point.tp > 0.0);
+    assert_eq!(built.configuration.len(), 3);
+
+    // The assembled system classifies the test set with sane outcomes.
+    let test = bench.data(Split::Test);
+    let mut system = built.system;
+    let (summary, activations) = system.evaluate(&test);
+    assert_eq!(summary.total, test.len());
+    assert!((summary.tp + summary.fp + summary.tn + summary.fn_ - 1.0).abs() < 1e-9);
+    // Digits are easy even at tiny scale: most answers should be reliable
+    // and correct.
+    assert!(summary.tp > 0.5, "tp {}", summary.tp);
+    assert!(activations.iter().all(|&a| a == 3));
+}
+
+#[test]
+fn pgmr_beats_single_network_on_undetected_errors() {
+    isolated_cache();
+    let bench = Benchmark::convnet_objects(Scale::Tiny);
+    let val = bench.data(Split::Val);
+    let test = bench.data(Split::Test);
+
+    let mut org = bench.member(Preprocessor::Identity, 21);
+    let org_test = org.predict_all(test.images());
+    let org_acc = evaluate::member_accuracy(&org_test, test.labels());
+    let org_fp = 1.0 - org_acc;
+
+    let built = SystemBuilder::new(&bench)
+        .candidates(vec![
+            Preprocessor::FlipX,
+            Preprocessor::FlipY,
+            Preprocessor::Gamma(2.0),
+            Preprocessor::AdHist,
+        ])
+        .max_networks(4)
+        .build(21);
+    let mut system = built.system;
+    let _ = val;
+    let (summary, _) = system.evaluate(&test);
+    // The PGMR system must expose fewer undetected mispredictions than the
+    // baseline's raw error rate (it can flag inputs; the baseline cannot).
+    assert!(
+        summary.fp <= org_fp + 1e-9,
+        "pgmr fp {} vs org fp {org_fp}",
+        summary.fp
+    );
+}
+
+#[test]
+fn ramr_precision_reduction_keeps_ensemble_usable() {
+    isolated_cache();
+    let bench = Benchmark::lenet5_digits(Scale::Tiny);
+    let built = SystemBuilder::new(&bench)
+        .candidates(vec![Preprocessor::FlipX, Preprocessor::Gamma(2.0)])
+        .max_networks(3)
+        .build(22);
+    let test = bench.data(Split::Test).truncated(120);
+
+    let mut full = built.system;
+    let (full_summary, _) = full.evaluate(&test);
+    full.ensemble_mut().set_precision(Precision::new(14));
+    let (narrow_summary, _) = full.evaluate(&test);
+    // 14-bit inference must not collapse: TP stays within 15 points.
+    assert!(
+        narrow_summary.tp >= full_summary.tp - 0.15,
+        "full tp {} narrow tp {}",
+        full_summary.tp,
+        narrow_summary.tp
+    );
+}
+
+#[test]
+fn rade_saves_activations_without_changing_most_verdicts() {
+    isolated_cache();
+    let bench = Benchmark::lenet5_digits(Scale::Tiny);
+    let built = SystemBuilder::new(&bench)
+        .candidates(vec![Preprocessor::FlipX, Preprocessor::FlipY, Preprocessor::Gamma(2.0)])
+        .max_networks(4)
+        .build(23);
+    let val = bench.data(Split::Val);
+    let test = bench.data(Split::Test).truncated(150);
+
+    let mut system = built.system;
+    let thresholds = system.thresholds();
+
+    // Full-engine verdicts.
+    let full_probs: Vec<Vec<Vec<f32>>> = system
+        .ensemble_mut()
+        .members_mut()
+        .iter_mut()
+        .map(|m| m.predict_all(test.images()))
+        .collect();
+    let full_verdicts = evaluate::decide_all(&full_probs, thresholds);
+
+    // RADE verdicts.
+    let val_probs: Vec<Vec<Vec<f32>>> = system
+        .ensemble_mut()
+        .members_mut()
+        .iter_mut()
+        .map(|m| m.predict_all(val.images()))
+        .collect();
+    let engine =
+        StagedEngine::from_contributions(&contributions(&val_probs, val.labels()), thresholds);
+    let mut agreements = 0usize;
+    let mut total_activated = 0usize;
+    for (i, full_v) in full_verdicts.iter().enumerate() {
+        let per_member: Vec<Vec<f32>> = full_probs.iter().map(|m| m[i].clone()).collect();
+        let d = engine.decide(&per_member);
+        total_activated += d.activated;
+        if d.verdict.is_reliable() == full_v.is_reliable() {
+            agreements += 1;
+        }
+    }
+    let n = full_verdicts.len();
+    // RADE is an approximation, but on an easy benchmark it must agree on
+    // the vast majority of reliability verdicts while activating fewer
+    // networks on average.
+    assert!(agreements as f64 / n as f64 > 0.9, "agreement {}/{n}", agreements);
+    assert!(
+        total_activated < n * 4,
+        "RADE never saved an activation ({total_activated} vs {})",
+        n * 4
+    );
+}
+
+#[test]
+fn profiled_operating_points_transfer_from_val_to_test() {
+    isolated_cache();
+    let bench = Benchmark::lenet5_digits(Scale::Tiny);
+    let mut members = vec![
+        bench.member(Preprocessor::Identity, 31),
+        bench.member(Preprocessor::FlipX, 32),
+        bench.member(Preprocessor::Gamma(2.0), 33),
+    ];
+    let val = bench.data(Split::Val);
+    let test = bench.data(Split::Test);
+    let val_probs: Vec<Vec<Vec<f32>>> =
+        members.iter_mut().map(|m| m.predict_all(val.images())).collect();
+    let test_probs: Vec<Vec<Vec<f32>>> =
+        members.iter_mut().map(|m| m.predict_all(test.images())).collect();
+
+    let frontier = profile_thresholds(&val_probs, val.labels());
+    let point = select_operating_point(&frontier, Demand::FpAtMost(0.05))
+        .or_else(|| frontier.first().copied())
+        .unwrap();
+    let val_summary = evaluate::evaluate(&val_probs, val.labels(), point.tag);
+    let test_summary = evaluate::evaluate(&test_probs, test.labels(), point.tag);
+    // Val and test are IID draws from the same generator: rates transfer
+    // within a loose statistical tolerance.
+    assert!((val_summary.tp - test_summary.tp).abs() < 0.15);
+    assert!((val_summary.fp - test_summary.fp).abs() < 0.10);
+}
+
+#[test]
+fn decision_engine_and_rade_agree_when_everything_activates() {
+    // Pure-logic cross-check on trained outputs: with Thr_Freq = n and
+    // unanimity required, RADE must activate everyone and match exactly.
+    isolated_cache();
+    let bench = Benchmark::lenet5_digits(Scale::Tiny);
+    let mut members = vec![
+        bench.member(Preprocessor::Identity, 41),
+        bench.member(Preprocessor::FlipY, 42),
+    ];
+    let test = bench.data(Split::Test).truncated(80);
+    let probs: Vec<Vec<Vec<f32>>> =
+        members.iter_mut().map(|m| m.predict_all(test.images())).collect();
+    let thresholds = Thresholds::new(0.3, 2);
+    let full = DecisionEngine::new(thresholds);
+    let staged = StagedEngine::new(vec![0, 1], thresholds);
+    for i in 0..test.len() {
+        let per_member: Vec<Vec<f32>> = probs.iter().map(|m| m[i].clone()).collect();
+        let f = full.decide(&per_member);
+        let s = staged.decide(&per_member);
+        if s.activated == 2 {
+            assert_eq!(f, s.verdict, "sample {i}");
+        } else {
+            // Early exit is either a reliable unanimous verdict or a
+            // provably-unreliable one (the first vote fell below Thr_Conf,
+            // making Thr_Freq = 2 unreachable). In the latter case the full
+            // engine must agree the answer is unreliable.
+            if !s.verdict.is_reliable() {
+                assert!(!f.is_reliable(), "sample {i}: RADE early-unreliable but full engine reliable");
+            }
+        }
+    }
+}
