@@ -1,0 +1,100 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses: a
+//! `Criterion` with `bench_function`, a `Bencher` with `iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! calibrated loop (warm-up, then a fixed measurement budget) printing
+//! mean ns/iter — no statistics machinery, but honest wall-clock numbers.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(300), measure: Duration::from_millis(1000) }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; configuration flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `f` repeatedly under a timer and prints the mean time per
+    /// iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+        // Warm-up: run until the warm-up budget is spent.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            f(&mut bencher);
+        }
+        // Measurement.
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            f(&mut bencher);
+        }
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iters as u32
+        };
+        println!("{id:<48} {:>12.1} ns/iter ({} iters)", per_iter.as_nanos() as f64, bencher.iters);
+        self
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one batch of calls to `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

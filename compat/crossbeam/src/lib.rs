@@ -1,0 +1,60 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope`, layered over `std::thread::scope` (available
+//! since Rust 1.63). One behavioral difference: a panicking child thread
+//! makes `scope` itself panic (std semantics) instead of returning `Err`,
+//! which still fails loudly at every call site in this workspace.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the closure; spawned threads may themselves
+    /// spawn (the handle is `Copy`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(handle))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_share_borrowed_state() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Derive macros for the offline `serde` stand-in. Each derive emits an
+//! empty marker impl (`impl ::serde::Serialize for T {}`), handling plain
+//! type/lifetime generics without pulling in `syn`/`quote` (unavailable
+//! offline).
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
+
+/// Parses `struct Name<...>` / `enum Name<...>` out of the item tokens and
+/// emits the marker impl. Generic parameters keep their bare names; bounds
+/// and defaults are dropped (marker traits need none).
+fn marker_impl(input: TokenStream, deserialize: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Find the `struct` / `enum` keyword at top level (attributes arrive as
+    // `#` + group tokens, which we skip naturally).
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("derive target must be a struct or enum"),
+    };
+    let params = parse_generic_params(&tokens[i + 2..]);
+
+    let mut impl_params: Vec<String> = Vec::new();
+    if deserialize {
+        impl_params.push("'de".to_string());
+    }
+    impl_params.extend(params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics =
+        if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
+    let trait_path = if deserialize {
+        "::serde::Deserialize<'de>".to_string()
+    } else {
+        "::serde::Serialize".to_string()
+    };
+    format!("impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// If `rest` starts with `<`, returns the bare names of the generic
+/// parameters (`T`, `'a`), with bounds/defaults stripped.
+fn parse_generic_params(rest: &[TokenTree]) -> Vec<String> {
+    match rest.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    // Collect tokens between the angle brackets at depth 0.
+    let mut depth = 0i32;
+    let mut body: Vec<&TokenTree> = Vec::new();
+    for t in rest {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    if depth == 1 {
+                        continue;
+                    }
+                }
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if depth >= 1 {
+            body.push(t);
+        }
+    }
+    // Split on top-level commas; each param's name is everything before the
+    // first top-level `:` or `=`.
+    let mut params = Vec::new();
+    let mut current = String::new();
+    let mut skipping = false;
+    let mut inner_depth = 0i32;
+    for t in body {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' | '(' | '[' => inner_depth += 1,
+                '>' | ')' | ']' => inner_depth -= 1,
+                ',' if inner_depth == 0 => {
+                    if !current.trim().is_empty() {
+                        params.push(current.trim().to_string());
+                    }
+                    current.clear();
+                    skipping = false;
+                    continue;
+                }
+                ':' | '=' if inner_depth == 0 => {
+                    skipping = true;
+                    continue;
+                }
+                '\'' if !skipping => {
+                    current.push('\'');
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !skipping {
+            current.push_str(&t.to_string());
+        }
+    }
+    if !current.trim().is_empty() {
+        params.push(current.trim().to_string());
+    }
+    params
+}

@@ -22,11 +22,8 @@ use polygraph_mr::suite::Benchmark;
 fn fp_at_floor(records: &[PredictionRecord], floor: f64) -> Option<f64> {
     let thresholds: Vec<f32> = (0..200).map(|i| i as f32 * 0.005).collect();
     let sweep = threshold_sweep(records, &thresholds);
-    let pts: Vec<ParetoPoint<usize>> = sweep
-        .iter()
-        .enumerate()
-        .map(|(i, p)| ParetoPoint { tp: p.tp, fp: p.fp, tag: i })
-        .collect();
+    let pts: Vec<ParetoPoint<usize>> =
+        sweep.iter().enumerate().map(|(i, p)| ParetoPoint { tp: p.tp, fp: p.fp, tag: i }).collect();
     pareto_frontier(&pts)
         .iter()
         .filter(|p| p.tp >= floor)
@@ -35,18 +32,14 @@ fn fp_at_floor(records: &[PredictionRecord], floor: f64) -> Option<f64> {
 }
 
 fn main() {
-    banner(
-        "Ablation",
-        "PolygraphMR vs MC-dropout uncertainty (cost-for-reliability)",
-    );
+    banner("Ablation", "PolygraphMR vs MC-dropout uncertainty (cost-for-reliability)");
     let bench = Benchmark::convnet_objects(scale());
     let test = bench.data(Split::Test);
 
     // Deterministic baseline (for the TP floor): the ORG member.
     let mut org = bench.member(Preprocessor::Identity, 1);
     let org_probs = org.predict_all(test.images());
-    let org_acc =
-        polygraph_mr::evaluate::member_accuracy(&org_probs, test.labels());
+    let org_acc = polygraph_mr::evaluate::member_accuracy(&org_probs, test.labels());
     let org_fp = 1.0 - org_acc;
     println!("baseline accuracy {:.1}% (TP floor), FP {:.1}%", org_acc * 100.0, org_fp * 100.0);
     println!();
@@ -56,8 +49,11 @@ fn main() {
     let train = bench.data(Split::Train);
     let spec = ArchSpec::convnet_dropout(3, 20, 20, 10);
     let mut dropnet = build(&spec, 1);
-    let report = Trainer::new(TrainConfig { ..bench.train_config.clone() })
-        .fit(&mut dropnet, train.images(), train.labels());
+    let report = Trainer::new(TrainConfig { ..bench.train_config.clone() }).fit(
+        &mut dropnet,
+        train.images(),
+        train.labels(),
+    );
     let _ = report;
     for samples in [4usize, 16, 64] {
         let mut mc = McDropout::new(dropnet.clone(), samples);
@@ -85,15 +81,15 @@ fn main() {
     let mut members = members_for_configuration(&bench, &built.configuration, 1);
     let probs = member_probs(&mut members, &test);
     let frontier = profile_thresholds(&probs, test.labels());
-    let pgmr_fp = frontier
-        .iter()
-        .filter(|p| p.tp >= org_acc)
-        .map(|p| p.fp)
-        .fold(f64::INFINITY, f64::min);
+    let pgmr_fp =
+        frontier.iter().filter(|p| p.tp >= org_acc).map(|p| p.fp).fold(f64::INFINITY, f64::min);
     if pgmr_fp.is_finite() {
         println!(
             "{:<22} {:>8} {:>10.2} {:>14.1}",
-            "4_PGMR", 4, pgmr_fp * 100.0, (1.0 - pgmr_fp / org_fp) * 100.0
+            "4_PGMR",
+            4,
+            pgmr_fp * 100.0,
+            (1.0 - pgmr_fp / org_fp) * 100.0
         );
     } else {
         // The exact test-set TP floor can be infeasible by a hair; report
@@ -101,7 +97,10 @@ fn main() {
         if let Some(best) = frontier.last() {
             println!(
                 "{:<22} {:>8} {:>10.2} {:>14.1}   (at TP {:.1}% < floor)",
-                "4_PGMR", 4, best.fp * 100.0, (1.0 - best.fp / org_fp) * 100.0,
+                "4_PGMR",
+                4,
+                best.fp * 100.0,
+                (1.0 - best.fp / org_fp) * 100.0,
                 best.tp * 100.0
             );
         }

@@ -55,10 +55,8 @@ fn main() {
     confs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let k = ((pgmr_in_flag * confs.len() as f64) as usize).min(confs.len() - 1);
     let matched_threshold = confs[k];
-    let baseline_ood_flag = org_ood
-        .iter()
-        .filter(|p| p[argmax(p)] < matched_threshold)
-        .count() as f64
+    let baseline_ood_flag = org_ood.iter().filter(|p| p[argmax(p)] < matched_threshold).count()
+        as f64
         / org_ood.len() as f64;
 
     println!("{:<28} {:>10} {:>10}", "method", "in-dist", "OOD");

@@ -27,8 +27,7 @@ fn main() {
     let test = bench.data(Split::Test);
 
     let mut org = bench.member(Preprocessor::Identity, 1);
-    let org_val_acc =
-        evaluate::member_accuracy(&org.predict_all(val.images()), val.labels());
+    let org_val_acc = evaluate::member_accuracy(&org.predict_all(val.images()), val.labels());
     let org_test_probs = org.predict_all(test.images());
     let org_fp = 1.0 - evaluate::member_accuracy(&org_test_probs, test.labels());
     println!("ORG val accuracy {:.1}%, test FP {:.2}%", org_val_acc * 100.0, org_fp * 100.0);
@@ -55,10 +54,7 @@ fn main() {
 
     for (name, pool) in pools {
         let n = (pool.len() + 1).min(4);
-        let built = SystemBuilder::new(&bench)
-            .candidates(pool.clone())
-            .max_networks(n)
-            .build(1);
+        let built = SystemBuilder::new(&bench).candidates(pool.clone()).max_networks(n).build(1);
         // Reconstruct members with the pool-local candidate seeds.
         let mut members: Vec<Member> = built
             .configuration

@@ -1,0 +1,89 @@
+//! Fault-injection campaign — SDC rate vs ABFT detection rate.
+//!
+//! Not a paper exhibit: this harness quantifies the dependability add-on
+//! of this reproduction. Seeded single-bit flips are injected into the
+//! guarded (dense/conv) activations of a trained benchmark network at a
+//! sweep of per-element rates, with and without ABFT row/column-checksum
+//! verification, and the silent-data-corruption (SDC) and detection rates
+//! are reported. A persistent weight-fault campaign rides along to show
+//! the checksum blind spot that motivates ensemble-level quarantine.
+//!
+//! Reports are deterministic: identical seeds reproduce identical tables.
+
+use pgmr_bench::{banner, scale};
+use pgmr_datasets::Split;
+use pgmr_faults::{
+    guarded_sites, run_activation_campaign, run_weight_campaign, CampaignConfig, SiteFilter,
+    ANY_BIT, EXPONENT_BITS,
+};
+use pgmr_preprocess::Preprocessor;
+use polygraph_mr::suite::Benchmark;
+
+fn main() {
+    banner("Fault campaign", "SDC rate vs ABFT detection rate under bit flips");
+    let bench = Benchmark::lenet5_digits(scale());
+    let mut member = bench.member(Preprocessor::Identity, 1);
+
+    let test = bench.data(Split::Test);
+    let inputs: Vec<_> = test.images().iter().take(32).cloned().collect();
+    let net = member.network_mut();
+    let sites = SiteFilter::Only(guarded_sites(net));
+
+    let trials = 200;
+    let seed = 2020;
+    println!("network: {}   trials/point: {trials}   campaign seed: {seed}", net.arch_id());
+    println!();
+    println!(
+        "{:>8} {:>5} {:>12} {:>12} {:>12} {:>10}",
+        "rate", "bits", "sdc% (raw)", "sdc% (abft)", "detected%", "flips/try"
+    );
+
+    for (bits, bits_label) in [(EXPONENT_BITS, "exp"), (ANY_BIT, "any")] {
+        for rate in [1e-4, 3e-4, 1e-3, 3e-3, 1e-2] {
+            let base = CampaignConfig {
+                trials,
+                seed,
+                rate,
+                bits: bits.clone(),
+                sites: sites.clone(),
+                ..CampaignConfig::default()
+            };
+            let raw = run_activation_campaign(
+                net,
+                &inputs,
+                &CampaignConfig { checksums: false, ..base.clone() },
+            );
+            let abft = run_activation_campaign(net, &inputs, &base);
+            println!(
+                "{:>8.0e} {:>5} {:>12.2} {:>12.2} {:>12.2} {:>10.2}",
+                rate,
+                bits_label,
+                raw.sdc_rate() * 100.0,
+                abft.sdc_rate() * 100.0,
+                abft.detection_rate() * 100.0,
+                abft.injected as f64 / trials as f64,
+            );
+        }
+    }
+
+    println!();
+    println!("persistent weight faults (ABFT blind spot — checksums derive from the");
+    println!("corrupted weights and stay consistent while values remain finite; only");
+    println!("corruption violent enough to overflow the arithmetic gets caught):");
+    for rate in [1e-3, 1e-2] {
+        let cfg =
+            CampaignConfig { trials, seed, rate, bits: EXPONENT_BITS, ..CampaignConfig::default() };
+        let report = run_weight_campaign(net, &inputs, &cfg);
+        println!(
+            "  rate {:>6.0e}: sdc {:>6.2}%  detected {:>6.2}%  (flips/trial {:.1})",
+            rate,
+            report.sdc_rate() * 100.0,
+            report.detected as f64 / trials as f64 * 100.0,
+            report.injected as f64 / trials as f64,
+        );
+    }
+    println!();
+    println!("shape: ABFT pushes activation-fault SDC to ~0 at ≥99% detection of");
+    println!("exponent flips; weight faults largely evade it and need ensemble-level");
+    println!("quarantine (see the fault-model section in DESIGN.md).");
+}

@@ -63,10 +63,14 @@ fn main() {
     let ra = rank(&accs);
     let rs = rank(&shares);
     let n = rows.len() as f64;
-    let d2: f64 = ra.iter().zip(&rs).map(|(&a, &b)| {
-        let d = a as f64 - b as f64;
-        d * d
-    }).sum();
+    let d2: f64 = ra
+        .iter()
+        .zip(&rs)
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum();
     let rho = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
     println!();
     println!("rank correlation (accuracy vs hi-confidence error share): {rho:+.2}");

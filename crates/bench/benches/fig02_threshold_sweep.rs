@@ -26,9 +26,8 @@ fn main() {
         let test = bench.data(Split::Test);
         let probs = member.predict_all(test.images());
         let records = records_from_probs(&probs, test.labels());
-        accuracies.push(
-            records.iter().filter(|r| r.is_correct()).count() as f64 / records.len() as f64,
-        );
+        accuracies
+            .push(records.iter().filter(|r| r.is_correct()).count() as f64 / records.len() as f64);
         sweeps.push(threshold_sweep(&records, &thresholds));
     }
 
@@ -62,16 +61,10 @@ fn main() {
     }
 
     // Crossover observation: least-accurate vs most-accurate network.
-    let (lo_idx, _) = accuracies
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
-    let (hi_idx, _) = accuracies
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let (lo_idx, _) =
+        accuracies.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+    let (hi_idx, _) =
+        accuracies.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
     println!();
     println!(
         "FP gap ({} − {}): at thr 0.0 = {:+.3}, at thr 0.8 = {:+.3}",

@@ -34,18 +34,9 @@ fn main() {
 
     println!();
     println!("tag-level error enrichment over all test samples:");
-    println!(
-        "{:<22} {:>12} {:>12} {:>12}",
-        "tag", "err w/ tag", "err clean", "enrichment"
-    );
+    println!("{:<22} {:>12} {:>12} {:>12}", "tag", "err w/ tag", "err clean", "enrichment");
     for (tag, with, clean, enrich) in tag_enrichment(&records, test.metas()) {
-        println!(
-            "{:<22} {:>12} {:>12} {:>11.2}x",
-            tag.to_string(),
-            pct(with),
-            pct(clean),
-            enrich
-        );
+        println!("{:<22} {:>12} {:>12} {:>11.2}x", tag.to_string(), pct(with), pct(clean), enrich);
     }
     println!();
     println!("paper shape: the three characteristics dominate the high-confidence errors;");

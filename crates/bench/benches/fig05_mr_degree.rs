@@ -33,9 +33,7 @@ fn main() {
         "{:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
         "degree", "MV fp%", "MV tp%", "AI fp%", "AI tp%", "AI+T fp%", "AI+T tp%"
     );
-    let degrees: Vec<usize> = (1..=max_degree)
-        .filter(|&n| n <= 6 || n % 2 == 0)
-        .collect();
+    let degrees: Vec<usize> = (1..=max_degree).filter(|&n| n <= 6 || n % 2 == 0).collect();
     for &n in &degrees {
         let subset = &probs[..n];
         let mv = evaluate(subset, test.labels(), Thresholds::majority_vote());

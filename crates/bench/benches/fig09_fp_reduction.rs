@@ -6,7 +6,10 @@
 //! improvements hold across all six benchmarks regardless of baseline
 //! accuracy.
 
-use pgmr_bench::{banner, compare_benchmark, evaluate_at_profiled_point, member_probs, members_for_configuration, scale};
+use pgmr_bench::{
+    banner, compare_benchmark, evaluate_at_profiled_point, member_probs, members_for_configuration,
+    scale,
+};
 use pgmr_datasets::Split;
 use polygraph_mr::builder::SystemBuilder;
 use polygraph_mr::suite::Benchmark;
@@ -32,10 +35,8 @@ fn main() {
         let test_probs = member_probs(&mut members6, &test);
         // Use the same TP floor as the 4-network comparison: ORG val accuracy.
         let mut org = bench.member(pgmr_preprocess::Preprocessor::Identity, 1);
-        let org_val_acc = polygraph_mr::evaluate::member_accuracy(
-            &org.predict_all(val.images()),
-            val.labels(),
-        );
+        let org_val_acc =
+            polygraph_mr::evaluate::member_accuracy(&org.predict_all(val.images()), val.labels());
         let (sum6, _) = evaluate_at_profiled_point(
             &val_probs,
             val.labels(),

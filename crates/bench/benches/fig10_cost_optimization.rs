@@ -24,20 +24,14 @@ struct Stage {
 }
 
 fn main() {
-    banner(
-        "Figure 10",
-        "energy / latency / FP through 4_PGMR -> +RAMR -> +RAMR+RADE",
-    );
+    banner("Figure 10", "energy / latency / FP through 4_PGMR -> +RAMR -> +RAMR+RADE");
     let model = CostModel::new(GpuModel::scaled_titan_x());
     // Per-benchmark RAMR precision: the paper narrows each PGMR member 2-4
     // bits below the baseline's safe width; our Fig. 6 harness justifies 14
     // bits, used uniformly here.
     let ramr_bits = 14u32;
 
-    println!(
-        "{:<18} | {:>20} | {:>20} | {:>20}",
-        "", "4_PGMR", "+RAMR", "+RAMR+RADE"
-    );
+    println!("{:<18} | {:>20} | {:>20} | {:>20}", "", "4_PGMR", "+RAMR", "+RAMR+RADE");
     println!(
         "{:<18} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}",
         "benchmark", "en%", "lat%", "det%", "en%", "lat%", "det%", "en%", "lat%", "det%"

@@ -35,8 +35,8 @@ fn main() {
     let mut org = bench.member(Preprocessor::Identity, 1);
     let org_probs = org.predict_all(test.images());
     let org_records = records_from_probs(&org_probs, test.labels());
-    let org_acc = org_records.iter().filter(|r| r.is_correct()).count() as f64
-        / org_records.len() as f64;
+    let org_acc =
+        org_records.iter().filter(|r| r.is_correct()).count() as f64 / org_records.len() as f64;
     let org_fp = 1.0 - org_acc;
     let org_sweep = threshold_sweep(&org_records, &thresholds);
 
@@ -77,11 +77,8 @@ fn main() {
     print_frontier("4_PGMR 14b    ", &frontier_pts(&q_frontier), org_acc, org_fp);
 
     // FP detection at TP >= 100% of baseline for the quantized system.
-    let best_q = q_frontier
-        .iter()
-        .filter(|p| p.tp >= org_acc)
-        .map(|p| p.fp)
-        .fold(f64::INFINITY, f64::min);
+    let best_q =
+        q_frontier.iter().filter(|p| p.tp >= org_acc).map(|p| p.fp).fold(f64::INFINITY, f64::min);
     if best_q.is_finite() {
         println!();
         println!(

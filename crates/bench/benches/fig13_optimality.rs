@@ -24,11 +24,7 @@ use polygraph_mr::suite::{Benchmark, Scale};
 
 /// FP at TP ≥ floor from a frontier; +∞ when infeasible.
 fn fp_at(frontier: &[(f64, f64)], floor: f64) -> f64 {
-    frontier
-        .iter()
-        .filter(|(tp, _)| *tp >= floor)
-        .map(|(_, fp)| *fp)
-        .fold(f64::INFINITY, f64::min)
+    frontier.iter().filter(|(tp, _)| *tp >= floor).map(|(_, fp)| *fp).fold(f64::INFINITY, f64::min)
 }
 
 fn main() {
@@ -78,25 +74,19 @@ fn main() {
     };
 
     // 6_MR_DE: the full (Thr_Conf, Thr_Freq) decision engine.
-    let mr_de_frontier: Vec<(f64, f64)> = profile_thresholds(six, labels)
-        .iter()
-        .map(|p| (p.tp, p.fp))
-        .collect();
+    let mr_de_frontier: Vec<(f64, f64)> =
+        profile_thresholds(six, labels).iter().map(|p| (p.tp, p.fp)).collect();
 
     // 100_MR_DE.
-    let big_frontier: Vec<(f64, f64)> = profile_thresholds(&pop_probs, labels)
-        .iter()
-        .map(|p| (p.tp, p.fp))
-        .collect();
+    let big_frontier: Vec<(f64, f64)> =
+        profile_thresholds(&pop_probs, labels).iter().map(|p| (p.tp, p.fp)).collect();
 
     // 6_PGMR.
     let built = SystemBuilder::new(&bench).max_networks(6).build(1);
     let mut pgmr_members = members_for_configuration(&bench, &built.configuration, 1);
     let pgmr_probs = member_probs(&mut pgmr_members, &test);
-    let pgmr_frontier: Vec<(f64, f64)> = profile_thresholds(&pgmr_probs, labels)
-        .iter()
-        .map(|p| (p.tp, p.fp))
-        .collect();
+    let pgmr_frontier: Vec<(f64, f64)> =
+        profile_thresholds(&pgmr_probs, labels).iter().map(|p| (p.tp, p.fp)).collect();
 
     println!("FP rate at TP >= 100% of ORG accuracy ({:.1}%):", org_acc * 100.0);
     println!("{:<12} {:>10} {:>14}", "system", "fp%", "fp detection%");
@@ -109,12 +99,7 @@ fn main() {
     ] {
         let fp = fp_at(frontier, org_acc);
         if fp.is_finite() {
-            println!(
-                "{:<12} {:>10.2} {:>14.1}",
-                name,
-                fp * 100.0,
-                (1.0 - fp / org_fp) * 100.0
-            );
+            println!("{:<12} {:>10.2} {:>14.1}", name, fp * 100.0, (1.0 - fp / org_fp) * 100.0);
         } else {
             println!("{:<12} {:>10} {:>14}", name, "n/a", "infeasible");
         }

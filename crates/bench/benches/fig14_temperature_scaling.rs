@@ -16,11 +16,8 @@ use polygraph_mr::suite::Benchmark;
 fn frontier_of(records: &[pgmr_metrics::PredictionRecord]) -> Vec<(f64, f64)> {
     let thresholds: Vec<f32> = (0..100).map(|i| i as f32 * 0.01).collect();
     let sweep = threshold_sweep(records, &thresholds);
-    let pts: Vec<ParetoPoint<usize>> = sweep
-        .iter()
-        .enumerate()
-        .map(|(i, p)| ParetoPoint { tp: p.tp, fp: p.fp, tag: i })
-        .collect();
+    let pts: Vec<ParetoPoint<usize>> =
+        sweep.iter().enumerate().map(|(i, p)| ParetoPoint { tp: p.tp, fp: p.fp, tag: i }).collect();
     pareto_frontier(&pts).iter().map(|p| (p.tp, p.fp)).collect()
 }
 

@@ -16,12 +16,7 @@ fn main() {
     for bench in Benchmark::all(scale()) {
         let built = SystemBuilder::new(&bench).max_networks(4).build(1);
         let config: Vec<String> = built.configuration.iter().map(|p| p.name()).collect();
-        println!(
-            "{:<10} {:<12} {}",
-            bench.paper_dataset,
-            bench.paper_network,
-            config.join(", ")
-        );
+        println!("{:<10} {:<12} {}", bench.paper_dataset, bench.paper_network, config.join(", "));
         // Selection trace with the validation FP after each addition.
         for step in &built.trace {
             println!(
@@ -33,7 +28,11 @@ fn main() {
         }
     }
     println!();
-    println!("paper's picks: LeNet-5: ORG,ConNorm,FlipX,Gamma(2) | ConvNet: ORG,AdHist,FlipX,FlipY");
+    println!(
+        "paper's picks: LeNet-5: ORG,ConNorm,FlipX,Gamma(2) | ConvNet: ORG,AdHist,FlipX,FlipY"
+    );
     println!("               ResNet20: ORG,FlipX,FlipY,Gamma(1.5) | DenseNet40: ORG,ImAdj,Gamma(1.5),Gamma(2)");
-    println!("               AlexNet: ORG,FlipX,FlipY,Gamma(2)   | ResNet34: ORG,FlipX,FlipY,Gamma(2)");
+    println!(
+        "               AlexNet: ORG,FlipX,FlipY,Gamma(2)   | ResNet34: ORG,FlipX,FlipY,Gamma(2)"
+    );
 }

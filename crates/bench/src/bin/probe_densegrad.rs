@@ -18,11 +18,8 @@ fn weight_grad_check() {
         Box::new(Conv2d::new(4, 2, 4, 4, 3, 1, 1, &mut rng)),
     ];
     let block = DenseBlock::new(units, 2, 2);
-    let layers: Vec<Box<dyn Layer>> = vec![
-        Box::new(block),
-        Box::new(AvgPoolGlobal::new()),
-        Box::new(Dense::new(6, 3, &mut rng)),
-    ];
+    let layers: Vec<Box<dyn Layer>> =
+        vec![Box::new(block), Box::new(AvgPoolGlobal::new()), Box::new(Dense::new(6, 3, &mut rng))];
     let mut net = Network::new(layers, "probe", 3);
     let x = Tensor::uniform(vec![2, 2, 4, 4], 0.0, 1.0, &mut rng);
     let labels = [0usize, 2];

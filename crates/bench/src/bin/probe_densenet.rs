@@ -17,11 +17,7 @@ fn main() {
         println!(
             "lr {:.3}: losses {:?} train_acc {:.3} test_acc {:.3}",
             lr,
-            report
-                .epoch_losses
-                .iter()
-                .map(|l| (l * 100.0).round() / 100.0)
-                .collect::<Vec<_>>(),
+            report.epoch_losses.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>(),
             report.final_train_accuracy,
             acc
         );

@@ -40,9 +40,7 @@ pub fn scale() -> Scale {
 /// Trains (or loads) `n` random-initialization copies of the benchmark's
 /// baseline network — the traditional-MR configuration (§III-C).
 pub fn random_init_members(bench: &Benchmark, n: usize, seed0: u64) -> Vec<Member> {
-    (0..n)
-        .map(|k| bench.member(Preprocessor::Identity, seed0 + k as u64))
-        .collect()
+    (0..n).map(|k| bench.member(Preprocessor::Identity, seed0 + k as u64)).collect()
 }
 
 /// Precomputes per-member probabilities over a dataset:
@@ -139,8 +137,8 @@ pub fn compare_benchmark(bench: &Benchmark, n: usize, seed: u64) -> BenchmarkCom
 
     // ORG.
     let mut org = bench.member(Preprocessor::Identity, seed);
-    let org_val_probs = vec![org.predict_all(val.images())];
-    let org_val_acc = evaluate::member_accuracy(&org_val_probs[0], val.labels());
+    let org_val_probs = org.predict_all(val.images());
+    let org_val_acc = evaluate::member_accuracy(&org_val_probs, val.labels());
     let org_test_probs = org.predict_all(test.images());
     let org_records = evaluate::records_from_probs(&org_test_probs, test.labels());
     let org_accuracy =
@@ -159,13 +157,8 @@ pub fn compare_benchmark(bench: &Benchmark, n: usize, seed: u64) -> BenchmarkCom
     let mut pgmr_members = members_for_configuration(bench, &built.configuration, seed);
     let pgmr_val = member_probs(&mut pgmr_members, &val);
     let pgmr_test = member_probs(&mut pgmr_members, &test);
-    let (pgmr_summary, _) = evaluate_at_profiled_point(
-        &pgmr_val,
-        val.labels(),
-        &pgmr_test,
-        test.labels(),
-        org_val_acc,
-    );
+    let (pgmr_summary, _) =
+        evaluate_at_profiled_point(&pgmr_val, val.labels(), &pgmr_test, test.labels(), org_val_acc);
 
     BenchmarkComparison {
         id: bench.id,

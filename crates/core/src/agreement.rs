@@ -19,10 +19,7 @@ pub fn agreement_histogram(member_probs: &[Vec<Vec<f32>>]) -> Vec<f64> {
     let n_members = member_probs.len();
     let n_samples = member_probs[0].len();
     assert!(n_samples > 0, "need at least one sample");
-    assert!(
-        member_probs.iter().all(|m| m.len() == n_samples),
-        "members disagree on sample count"
-    );
+    assert!(member_probs.iter().all(|m| m.len() == n_samples), "members disagree on sample count");
     let mut hist = vec![0usize; n_members];
     for i in 0..n_samples {
         let mut counts: Vec<(usize, usize)> = Vec::new();

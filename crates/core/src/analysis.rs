@@ -61,11 +61,7 @@ pub fn misclassification_breakdown(
         .map(|&name| {
             let count = selected
                 .iter()
-                .filter(|m| {
-                    m.tags
-                        .iter()
-                        .any(|t| t.characteristic() == name)
-                })
+                .filter(|m| m.tags.iter().any(|t| t.characteristic() == name))
                 .count();
             BreakdownRow {
                 characteristic: name.to_string(),
@@ -95,30 +91,17 @@ pub fn tag_enrichment(
 ) -> Vec<(CorruptionTag, f64, f64, f64)> {
     assert_eq!(records.len(), metas.len(), "record/meta count mismatch");
     let clean_total = metas.iter().filter(|m| m.is_clean()).count();
-    let clean_errors = records
-        .iter()
-        .zip(metas)
-        .filter(|(r, m)| m.is_clean() && !r.is_correct())
-        .count();
-    let clean_rate = if clean_total == 0 {
-        f64::NAN
-    } else {
-        clean_errors as f64 / clean_total as f64
-    };
+    let clean_errors =
+        records.iter().zip(metas).filter(|(r, m)| m.is_clean() && !r.is_correct()).count();
+    let clean_rate =
+        if clean_total == 0 { f64::NAN } else { clean_errors as f64 / clean_total as f64 };
     CorruptionTag::ALL
         .iter()
         .map(|&tag| {
             let with_tag = metas.iter().filter(|m| m.has(tag)).count();
-            let errors = records
-                .iter()
-                .zip(metas)
-                .filter(|(r, m)| m.has(tag) && !r.is_correct())
-                .count();
-            let rate = if with_tag == 0 {
-                f64::NAN
-            } else {
-                errors as f64 / with_tag as f64
-            };
+            let errors =
+                records.iter().zip(metas).filter(|(r, m)| m.has(tag) && !r.is_correct()).count();
+            let rate = if with_tag == 0 { f64::NAN } else { errors as f64 / with_tag as f64 };
             (tag, rate, clean_rate, rate / clean_rate)
         })
         .collect()

@@ -130,9 +130,8 @@ mod tests {
         let net = build(&ArchSpec::convnet_dropout(3, 20, 20, 10), 3);
         let mut mc = McDropout::new(net, 3);
         let mut rng = StdRng::seed_from_u64(2);
-        let images: Vec<Tensor> = (0..4)
-            .map(|_| Tensor::uniform(vec![1, 3, 20, 20], 0.0, 1.0, &mut rng))
-            .collect();
+        let images: Vec<Tensor> =
+            (0..4).map(|_| Tensor::uniform(vec![1, 3, 20, 20], 0.0, 1.0, &mut rng)).collect();
         let labels = vec![0usize, 1, 2, 3];
         let recs = mc.records(&images, &labels);
         assert_eq!(recs.len(), 4);

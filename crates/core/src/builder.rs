@@ -57,11 +57,7 @@ impl<'a> SystemBuilder<'a> {
     /// Creates a builder over the standard candidate pool with the paper's
     /// default system size of 4 networks.
     pub fn new(bench: &'a Benchmark) -> Self {
-        SystemBuilder {
-            bench,
-            candidates: pgmr_preprocess::standard_pool(),
-            max_networks: 4,
-        }
+        SystemBuilder { bench, candidates: pgmr_preprocess::standard_pool(), max_networks: 4 }
     }
 
     /// Replaces the candidate preprocessor pool.
@@ -104,8 +100,7 @@ impl<'a> SystemBuilder<'a> {
         // Train baseline + every candidate (cached).
         let mut baseline = self.bench.member(Preprocessor::Identity, seed);
         let baseline_probs = baseline.predict_all(val.images());
-        let baseline_accuracy =
-            crate::evaluate::member_accuracy(&baseline_probs, val.labels());
+        let baseline_accuracy = crate::evaluate::member_accuracy(&baseline_probs, val.labels());
 
         let mut members: Vec<Member> = vec![baseline];
         let mut probs: Vec<Vec<Vec<f32>>> = vec![baseline_probs];
@@ -161,14 +156,7 @@ impl<'a> SystemBuilder<'a> {
 
         let configuration: Vec<Preprocessor> = members.iter().map(|m| m.preprocessor()).collect();
         let system = PolygraphSystem::new(Ensemble::new(members), operating_point.tag);
-        BuiltSystem {
-            system,
-            configuration,
-            frontier,
-            operating_point,
-            baseline_accuracy,
-            trace,
-        }
+        BuiltSystem { system, configuration, frontier, operating_point, baseline_accuracy, trace }
     }
 }
 
@@ -222,12 +210,8 @@ mod tests {
     #[test]
     fn greedy_fp_is_monotone_nonincreasing_with_feasible_steps() {
         let built = tiny_build(4);
-        let feasible: Vec<f64> = built
-            .trace
-            .iter()
-            .map(|s| s.fp_after)
-            .filter(|fp| fp.is_finite())
-            .collect();
+        let feasible: Vec<f64> =
+            built.trace.iter().map(|s| s.fp_after).filter(|fp| fp.is_finite()).collect();
         for w in feasible.windows(2) {
             // The greedy objective re-optimizes thresholds each round, so
             // adding a network cannot force a *worse* feasible FP — the old
@@ -242,9 +226,6 @@ mod tests {
     #[should_panic(expected = "candidates")]
     fn rejects_undersized_pool() {
         let bench = Benchmark::lenet5_digits(Scale::Tiny);
-        SystemBuilder::new(&bench)
-            .candidates(vec![Preprocessor::FlipX])
-            .max_networks(4)
-            .build(0);
+        SystemBuilder::new(&bench).candidates(vec![Preprocessor::FlipX]).max_networks(4).build(0);
     }
 }

@@ -133,11 +133,8 @@ impl DecisionEngine {
             return Verdict::Unreliable { class: None, votes: 0 };
         }
         let max_count = histogram.iter().map(|&(_, c)| c).max().expect("non-empty");
-        let mut leaders: Vec<usize> = histogram
-            .iter()
-            .filter(|&&(_, c)| c == max_count)
-            .map(|&(c, _)| c)
-            .collect();
+        let mut leaders: Vec<usize> =
+            histogram.iter().filter(|&&(_, c)| c == max_count).map(|&(c, _)| c).collect();
         leaders.sort_unstable();
         let class = leaders[0];
         if leaders.len() > 1 {
@@ -197,11 +194,7 @@ mod tests {
         // Low confidences still count (Thr_Conf = 0) — 0 has plurality.
         // NOTE: onehot(0, 3, 0.2) has its max at another class though;
         // use explicit vectors to control argmax precisely.
-        let explicit = vec![
-            vec![0.5, 0.3, 0.2],
-            vec![0.4, 0.35, 0.25],
-            vec![0.1, 0.1, 0.8],
-        ];
+        let explicit = vec![vec![0.5, 0.3, 0.2], vec![0.4, 0.35, 0.25], vec![0.1, 0.1, 0.8]];
         assert_eq!(engine.decide(&explicit), Verdict::Reliable { class: 0, votes: 2 });
         let _ = probs;
     }

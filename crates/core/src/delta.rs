@@ -123,10 +123,8 @@ mod tests {
     #[test]
     fn rank_score_prefers_useful_diversity() {
         // Preprocessor A: lower confidence exactly on baseline errors.
-        let a = DeltaAnalysis {
-            mispredicted: vec![-0.3, -0.2, -0.25],
-            correct: vec![0.01, 0.0, 0.02],
-        };
+        let a =
+            DeltaAnalysis { mispredicted: vec![-0.3, -0.2, -0.25], correct: vec![0.01, 0.0, 0.02] };
         // Preprocessor B: lowers confidence everywhere.
         let b = DeltaAnalysis {
             mispredicted: vec![-0.3, -0.2, -0.25],

@@ -2,10 +2,12 @@
 //! ensemble.
 
 use pgmr_datasets::Dataset;
+use pgmr_faults::ActivationInjector;
 use pgmr_nn::zoo::{build, ArchSpec};
 use pgmr_nn::{Network, TrainConfig, TrainReport, Trainer};
 use pgmr_precision::Precision;
 use pgmr_preprocess::Preprocessor;
+use pgmr_tensor::checksum::ChecksumFault;
 use pgmr_tensor::Tensor;
 
 /// One Layer-1 + Layer-2 slot: a preprocessor feeding a CNN trained on the
@@ -19,12 +21,13 @@ pub struct Member {
     preprocessor: Preprocessor,
     network: Network,
     precision: Precision,
+    fault: Option<ActivationInjector>,
 }
 
 impl Member {
     /// Wraps an already-trained network.
     pub fn new(preprocessor: Preprocessor, network: Network) -> Self {
-        Member { preprocessor, network, precision: Precision::FULL }
+        Member { preprocessor, network, precision: Precision::FULL, fault: None }
     }
 
     /// Builds a fresh network from `spec` with `seed` and trains it on the
@@ -72,20 +75,94 @@ impl Member {
         &mut self.network
     }
 
+    /// Attaches (or clears) a seeded activation fault injector. When set,
+    /// every forward pass ([`Member::predict`] and
+    /// [`Member::predict_checked`]) runs the injector hook on the network
+    /// input and on each layer output — the soft-error simulation point.
+    pub fn set_fault_injector(&mut self, injector: Option<ActivationInjector>) {
+        self.fault = injector;
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&ActivationInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Widens an ABFT base tolerance to absorb this member's quantization
+    /// noise: reduced-precision rounding perturbs each checksummed output
+    /// by at most a `2^-(m+1)` relative error (`m` mantissa bits), so the
+    /// scaled verification bound needs at least `2^-m` to avoid false
+    /// alarms while staying far below any exponent-bit corruption.
+    pub fn abft_tolerance(&self, base: f32) -> f32 {
+        if self.precision == Precision::FULL {
+            base
+        } else {
+            base.max(2f32.powi(-(self.precision.mantissa_bits() as i32)))
+        }
+    }
+
     /// Softmax probabilities for one raw image: the preprocessor is applied
-    /// first, then the (possibly quantized) forward pass.
+    /// first, then the (possibly quantized, possibly fault-injected)
+    /// forward pass.
     pub fn predict(&mut self, image: &Tensor) -> Vec<f32> {
         let x = self.preprocessor.apply(image);
         let classes = self.network.num_classes();
-        let logits = if self.precision == Precision::FULL {
+        let p = self.precision;
+        let fault = self.fault.as_ref();
+        let logits = if fault.is_none() && p == Precision::FULL {
             self.network.forward(&x, false)
         } else {
-            let p = self.precision;
-            self.network
-                .forward_with_hook(&x, false, &|t: &mut Tensor| p.quantize_tensor(t))
+            if let Some(inj) = fault {
+                inj.begin_forward();
+            }
+            let hook = |t: &mut Tensor| {
+                if let Some(inj) = fault {
+                    inj.apply(t);
+                }
+                if p != Precision::FULL {
+                    p.quantize_tensor(t);
+                }
+            };
+            self.network.forward_with_hook(&x, false, &hook)
         };
         debug_assert_eq!(logits.len(), classes);
         pgmr_tensor::softmax(logits.data())
+    }
+
+    /// ABFT-guarded prediction: like [`Member::predict`] but every dense
+    /// and convolution output is verified against row/column checksums
+    /// (after the fault/precision hook runs), so transient corruption of a
+    /// guarded activation returns a [`ChecksumFault`] instead of silently
+    /// propagating. `tolerance` is widened via [`Member::abft_tolerance`]
+    /// when the member runs at reduced precision.
+    pub fn predict_checked(
+        &mut self,
+        image: &Tensor,
+        tolerance: f32,
+    ) -> Result<Vec<f32>, ChecksumFault> {
+        let x = self.preprocessor.apply(image);
+        let tol = self.abft_tolerance(tolerance);
+        let p = self.precision;
+        let fault = self.fault.as_ref();
+        if let Some(inj) = fault {
+            inj.begin_forward();
+        }
+        let hook = |t: &mut Tensor| {
+            if let Some(inj) = fault {
+                inj.apply(t);
+            }
+            if p != Precision::FULL {
+                p.quantize_tensor(t);
+            }
+        };
+        let needs_hook = fault.is_some() || p != Precision::FULL;
+        let logits = self.network.forward_checked(
+            &x,
+            false,
+            if needs_hook { Some(&hook) } else { None },
+            tol,
+        )?;
+        Ok(pgmr_tensor::softmax(logits.data()))
     }
 
     /// Probabilities for a set of raw images, one vector per image.
@@ -244,10 +321,7 @@ mod tests {
         assert_eq!(per_member.len(), 2);
         assert_eq!(per_member[0].len(), 5);
         assert_eq!(per_member[0][0].len(), 10);
-        assert_eq!(
-            ens.configuration(),
-            vec![Preprocessor::Identity, Preprocessor::FlipX]
-        );
+        assert_eq!(ens.configuration(), vec![Preprocessor::Identity, Preprocessor::FlipX]);
     }
 
     #[test]

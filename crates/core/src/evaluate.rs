@@ -19,10 +19,7 @@ use pgmr_tensor::argmax;
 pub fn decide_all(member_probs: &[Vec<Vec<f32>>], thresholds: Thresholds) -> Vec<Verdict> {
     assert!(!member_probs.is_empty(), "need at least one member");
     let n = member_probs[0].len();
-    assert!(
-        member_probs.iter().all(|m| m.len() == n),
-        "members disagree on sample count"
-    );
+    assert!(member_probs.iter().all(|m| m.len() == n), "members disagree on sample count");
     let engine = DecisionEngine::new(thresholds);
     (0..n)
         .map(|i| {
@@ -48,19 +45,23 @@ pub fn outcomes(verdicts: &[Verdict], labels: &[usize]) -> Vec<Outcome> {
 }
 
 /// Evaluates a threshold setting end to end: decide → outcomes → rates.
-pub fn evaluate(member_probs: &[Vec<Vec<f32>>], labels: &[usize], thresholds: Thresholds) -> RateSummary {
+pub fn evaluate(
+    member_probs: &[Vec<Vec<f32>>],
+    labels: &[usize],
+    thresholds: Thresholds,
+) -> RateSummary {
     summarize(&outcomes(&decide_all(member_probs, thresholds), labels))
 }
 
 /// Plain top-1 accuracy of the ensemble under a threshold setting (the
 /// emitted class against the label, reliability ignored).
-pub fn ensemble_accuracy(member_probs: &[Vec<Vec<f32>>], labels: &[usize], thresholds: Thresholds) -> f64 {
+pub fn ensemble_accuracy(
+    member_probs: &[Vec<Vec<f32>>],
+    labels: &[usize],
+    thresholds: Thresholds,
+) -> f64 {
     let verdicts = decide_all(member_probs, thresholds);
-    let correct = verdicts
-        .iter()
-        .zip(labels)
-        .filter(|(v, &l)| v.class() == Some(l))
-        .count();
+    let correct = verdicts.iter().zip(labels).filter(|(v, &l)| v.class() == Some(l)).count();
     correct as f64 / labels.len() as f64
 }
 
@@ -76,10 +77,7 @@ pub fn ensemble_accuracy(member_probs: &[Vec<Vec<f32>>], labels: &[usize], thres
 pub fn mean_ensemble_accuracy(member_probs: &[Vec<Vec<f32>>], labels: &[usize]) -> f64 {
     assert!(!member_probs.is_empty(), "need at least one member");
     let n = labels.len();
-    assert!(
-        member_probs.iter().all(|m| m.len() == n),
-        "members disagree on sample count"
-    );
+    assert!(member_probs.iter().all(|m| m.len() == n), "members disagree on sample count");
     let mut correct = 0usize;
     for (i, &label) in labels.iter().enumerate() {
         let classes = member_probs[0][i].len();

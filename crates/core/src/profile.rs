@@ -36,10 +36,7 @@ pub fn sweep_thresholds(
     assert!(!member_probs.is_empty(), "need at least one member");
     let n_members = member_probs.len();
     let n = labels.len();
-    assert!(
-        member_probs.iter().all(|m| m.len() == n),
-        "members disagree on sample count"
-    );
+    assert!(member_probs.iter().all(|m| m.len() == n), "members disagree on sample count");
     // Precompute each member's (argmax class, confidence) per sample.
     let tops: Vec<Vec<(usize, f32)>> = member_probs
         .iter()
@@ -245,8 +242,8 @@ mod tests {
         let frontier = profile_thresholds(&probs, &labels);
         // Baseline: all 3 members agree on samples 0-5 so plurality
         // accuracy is 4/8 = 0.5.
-        let point = select_operating_point(&frontier, Demand::TpAtLeast(0.5))
-            .expect("feasible demand");
+        let point =
+            select_operating_point(&frontier, Demand::TpAtLeast(0.5)).expect("feasible demand");
         assert!(point.tp >= 0.5);
         // No frontier point with tp >= 0.5 has lower fp.
         for p in &frontier {

@@ -52,11 +52,7 @@ impl StagedEngine {
             assert!(!seen[i], "duplicate priority index {i}");
             seen[i] = true;
         }
-        assert!(
-            thresholds.freq <= n,
-            "Thr_Freq {} exceeds member count {n}",
-            thresholds.freq
-        );
+        assert!(thresholds.freq <= n, "Thr_Freq {} exceeds member count {n}", thresholds.freq);
         StagedEngine { priority, thresholds }
     }
 
@@ -108,11 +104,7 @@ impl StagedEngine {
         mut predict: impl FnMut(usize) -> Vec<f32>,
         n_members: usize,
     ) -> StagedDecision {
-        assert_eq!(
-            n_members,
-            self.priority.len(),
-            "member count mismatch with priority order"
-        );
+        assert_eq!(n_members, self.priority.len(), "member count mismatch with priority order");
         let freq = self.thresholds.freq;
         let mut histogram: Vec<(usize, usize)> = Vec::new();
         let mut activated = 0usize;
@@ -146,11 +138,8 @@ impl StagedEngine {
             // Early reliable: the leader already meets Thr_Freq and no
             // other class ties it.
             if best >= freq {
-                let leaders: Vec<usize> = histogram
-                    .iter()
-                    .filter(|&&(_, c)| c == best)
-                    .map(|&(c, _)| c)
-                    .collect();
+                let leaders: Vec<usize> =
+                    histogram.iter().filter(|&&(_, c)| c == best).map(|&(c, _)| c).collect();
                 if leaders.len() == 1 {
                     return StagedDecision {
                         verdict: Verdict::Reliable { class: leaders[0], votes: best },
@@ -169,11 +158,8 @@ impl StagedEngine {
             };
         }
         let best = histogram.iter().map(|&(_, c)| c).max().expect("non-empty");
-        let mut leaders: Vec<usize> = histogram
-            .iter()
-            .filter(|&&(_, c)| c == best)
-            .map(|&(c, _)| c)
-            .collect();
+        let mut leaders: Vec<usize> =
+            histogram.iter().filter(|&&(_, c)| c == best).map(|&(c, _)| c).collect();
         leaders.sort_unstable();
         let class = leaders[0];
         let verdict = if leaders.len() == 1 && best >= freq {
@@ -196,11 +182,7 @@ pub fn contributions(member_probs: &[Vec<Vec<f32>>], labels: &[usize]) -> Vec<f6
         .iter()
         .map(|probs| {
             assert_eq!(probs.len(), labels.len(), "probs/label count mismatch");
-            let correct = probs
-                .iter()
-                .zip(labels)
-                .filter(|(p, &l)| argmax(p) == l)
-                .count();
+            let correct = probs.iter().zip(labels).filter(|(p, &l)| argmax(p) == l).count();
             correct as f64 / labels.len() as f64
         })
         .collect()
@@ -288,12 +270,8 @@ mod tests {
         // last vote decides), its verdict equals the full engine's.
         let thresholds = Thresholds::new(0.5, 3);
         let engine = StagedEngine::new(vec![0, 1, 2, 3], thresholds);
-        let probs = vec![
-            onehot(1, 4, 0.9),
-            onehot(2, 4, 0.9),
-            onehot(1, 4, 0.9),
-            onehot(1, 4, 0.9),
-        ];
+        let probs =
+            vec![onehot(1, 4, 0.9), onehot(2, 4, 0.9), onehot(1, 4, 0.9), onehot(1, 4, 0.9)];
         let staged = engine.decide(&probs);
         let full = DecisionEngine::new(thresholds).decide(&probs);
         assert_eq!(staged.verdict, full);

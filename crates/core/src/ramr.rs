@@ -74,11 +74,7 @@ pub fn min_bits_within(
     tolerance: f64,
 ) -> u32 {
     assert!(!points.is_empty(), "empty sweep");
-    let reference = points
-        .iter()
-        .max_by_key(|p| p.bits)
-        .map(&accessor)
-        .expect("non-empty");
+    let reference = points.iter().max_by_key(|p| p.bits).map(&accessor).expect("non-empty");
     points
         .iter()
         .filter(|p| accessor(p) >= reference - tolerance)

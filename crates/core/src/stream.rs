@@ -49,13 +49,23 @@ pub struct ReliabilityMonitor {
     window: VecDeque<bool>, // true = flagged unreliable
     capacity: usize,
     alarm_rate: f64,
+    /// Degraded→Healthy hysteresis: once the alarm fires, the windowed
+    /// flag rate must fall to this level before health recovers.
+    recovery_rate: f64,
+    /// Alarm latch for the hysteresis band.
+    degraded: bool,
     total_seen: u64,
     total_flagged: u64,
+    /// Quarantine events surfaced by the system: `(total_seen at the
+    /// event, member index)`.
+    quarantine_log: Vec<(u64, usize)>,
 }
 
 impl ReliabilityMonitor {
     /// Creates a monitor over the last `window` verdicts that alarms when
-    /// the windowed flag rate reaches `alarm_rate`.
+    /// the windowed flag rate reaches `alarm_rate`. The recovery threshold
+    /// defaults to half the alarm rate (see
+    /// [`ReliabilityMonitor::with_recovery`]).
     ///
     /// # Panics
     ///
@@ -70,9 +80,29 @@ impl ReliabilityMonitor {
             window: VecDeque::with_capacity(window),
             capacity: window,
             alarm_rate,
+            recovery_rate: alarm_rate / 2.0,
+            degraded: false,
             total_seen: 0,
             total_flagged: 0,
+            quarantine_log: Vec::new(),
         }
+    }
+
+    /// Sets the Degraded→Healthy recovery threshold. Once the alarm has
+    /// fired, health stays `Degraded` until the windowed flag rate falls
+    /// to `recovery_rate` — without hysteresis a stream hovering at the
+    /// alarm line would flap between states on every verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recovery_rate` is negative or above the alarm rate.
+    pub fn with_recovery(mut self, recovery_rate: f64) -> Self {
+        assert!(
+            (0.0..=self.alarm_rate).contains(&recovery_rate),
+            "recovery rate must be in [0, alarm_rate], got {recovery_rate}"
+        );
+        self.recovery_rate = recovery_rate;
+        self
     }
 
     /// Calibrates the alarm threshold from an expected (validation-time)
@@ -94,7 +124,30 @@ impl ReliabilityMonitor {
         if !verdict.is_reliable() {
             self.total_flagged += 1;
         }
+        if self.window.len() == self.capacity {
+            let rate = self.windowed_flag_rate();
+            if rate >= self.alarm_rate {
+                self.degraded = true;
+            } else if rate <= self.recovery_rate {
+                self.degraded = false;
+            }
+            // Rates inside the hysteresis band leave the latch unchanged.
+        }
         self.health()
+    }
+
+    /// Records that the system quarantined a member. The stream is marked
+    /// degraded until the windowed flag rate proves the shrunk ensemble
+    /// still healthy (it must fall to the recovery threshold).
+    pub fn note_quarantine(&mut self, member: usize) {
+        self.quarantine_log.push((self.total_seen, member));
+        self.degraded = true;
+    }
+
+    /// Quarantine events observed so far: `(total_seen at the event,
+    /// member index)`.
+    pub fn quarantine_log(&self) -> &[(u64, usize)] {
+        &self.quarantine_log
     }
 
     /// Flag rate over the current window.
@@ -113,9 +166,14 @@ impl ReliabilityMonitor {
         self.total_flagged as f64 / self.total_seen as f64
     }
 
-    /// Current health. `WarmingUp` until the window fills once.
+    /// Current health. `WarmingUp` until the window fills once, unless a
+    /// quarantine or alarm has already latched the monitor degraded.
+    /// After an alarm, `Healthy` returns only once the windowed flag rate
+    /// falls to the recovery threshold (hysteresis).
     pub fn health(&self) -> StreamHealth {
-        if self.window.len() < self.capacity {
+        if self.degraded {
+            StreamHealth::Degraded
+        } else if self.window.len() < self.capacity {
             StreamHealth::WarmingUp
         } else if self.windowed_flag_rate() >= self.alarm_rate {
             StreamHealth::Degraded
@@ -176,6 +234,62 @@ mod tests {
         assert_eq!(m.total_seen(), 3);
         assert!((m.lifetime_flag_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(m.windowed_flag_rate(), 0.0);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_degraded_after_alarm() {
+        // Alarm at 0.75, recover only at 0.25: a windowed rate of 0.5 is
+        // inside the band and must preserve whichever state we are in.
+        let mut m = ReliabilityMonitor::new(4, 0.75).with_recovery(0.25);
+        for _ in 0..4 {
+            m.observe(&reliable());
+        }
+        // Rate 0.5 without a prior alarm: healthy.
+        m.observe(&flagged());
+        m.observe(&flagged());
+        assert_eq!(m.health(), StreamHealth::Healthy);
+        // Push over the alarm line, then back into the band.
+        m.observe(&flagged());
+        assert_eq!(m.health(), StreamHealth::Degraded);
+        m.observe(&reliable());
+        m.observe(&reliable());
+        // Window now [flagged, flagged, reliable, reliable] → rate 0.5,
+        // but the latch holds.
+        assert!((m.windowed_flag_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(m.health(), StreamHealth::Degraded);
+        // Falling to the recovery threshold (0.25) clears it.
+        m.observe(&reliable());
+        assert_eq!(m.health(), StreamHealth::Healthy);
+    }
+
+    #[test]
+    fn recovery_happens_at_or_below_recovery_rate() {
+        let mut m = ReliabilityMonitor::new(4, 0.75).with_recovery(0.25);
+        for _ in 0..3 {
+            m.observe(&flagged());
+        }
+        m.observe(&reliable());
+        assert_eq!(m.health(), StreamHealth::Degraded);
+        // Drain flags until the windowed rate reaches 0.25 exactly.
+        m.observe(&reliable());
+        m.observe(&reliable());
+        assert!((m.windowed_flag_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(m.health(), StreamHealth::Healthy);
+    }
+
+    #[test]
+    fn quarantine_marks_stream_degraded_until_recovery() {
+        let mut m = ReliabilityMonitor::new(3, 0.9).with_recovery(0.0);
+        m.note_quarantine(1);
+        assert_eq!(m.quarantine_log(), &[(0, 1)]);
+        // Even while warming up, a quarantined member is a degraded system.
+        assert_eq!(m.health(), StreamHealth::Degraded);
+        m.observe(&reliable());
+        m.observe(&reliable());
+        assert_eq!(m.health(), StreamHealth::Degraded);
+        // A full window of clean verdicts (rate 0 <= recovery) clears it.
+        m.observe(&reliable());
+        assert_eq!(m.health(), StreamHealth::Healthy);
     }
 
     #[test]

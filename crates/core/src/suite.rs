@@ -53,9 +53,25 @@ impl Scale {
 
     fn epochs(self, small_epochs: usize) -> usize {
         match self {
-            Scale::Tiny => 2,
+            // Three quarters of the Small schedule (floor 2): enough for
+            // the shallow digit/object networks to move well clear of
+            // chance — weaker members push threshold profiling into
+            // degenerate operating points — while keeping test-suite
+            // training cheap.
+            Scale::Tiny => (small_epochs * 3 / 4).max(2),
             Scale::Small => small_epochs,
             Scale::Full => small_epochs * 2,
+        }
+    }
+
+    /// Epoch budget for the deep ImageNet-analog (scenes) benchmarks. At
+    /// Tiny scale these 20-class networks stay at chance on the smoke
+    /// budget, so Tiny runs the full Small schedule — the 0.2× dataset
+    /// keeps that affordable.
+    fn scenes_epochs(self, small_epochs: usize) -> usize {
+        match self {
+            Scale::Tiny => small_epochs,
+            _ => self.epochs(small_epochs),
         }
     }
 
@@ -98,7 +114,12 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
-    fn sized(scale: Scale, base_train: usize, base_val: usize, base_test: usize) -> (usize, usize, usize) {
+    fn sized(
+        scale: Scale,
+        base_train: usize,
+        base_val: usize,
+        base_test: usize,
+    ) -> (usize, usize, usize) {
         let f = scale.factor();
         (
             ((base_train as f64 * f) as usize).max(100),
@@ -201,48 +222,28 @@ impl Benchmark {
 
     /// ImageNet / AlexNet analog.
     pub fn alexnet_scenes(scale: Scale) -> Benchmark {
-        let (train_count, val_count, test_count) = Self::sized(scale, 1100, 500, 600);
-        Benchmark {
-            id: "alexnet-scenes",
-            paper_dataset: "ImageNet",
-            paper_network: "AlexNet",
-            paper_accuracy: 0.5740,
-            dataset: families::synth_scenes(303),
-            arch: ArchSpec::alexnet_mini(3, 24, 24, 20),
-            train_config: TrainConfig {
-                epochs: scale.epochs(8),
-                batch_size: 32,
-                lr: 0.05,
-                ..TrainConfig::default()
-            },
-            train_count,
-            val_count,
-            test_count,
+        Self::imagenet_analog(
             scale,
-        }
+            "alexnet-scenes",
+            "AlexNet",
+            0.5740,
+            ArchSpec::alexnet_mini(3, 24, 24, 20),
+            8,
+            0.05,
+        )
     }
 
     /// ImageNet / ResNet34 analog.
     pub fn resnet34_scenes(scale: Scale) -> Benchmark {
-        let (train_count, val_count, test_count) = Self::sized(scale, 1100, 500, 600);
-        Benchmark {
-            id: "resnet34-scenes",
-            paper_dataset: "ImageNet",
-            paper_network: "ResNet34",
-            paper_accuracy: 0.7146,
-            dataset: families::synth_scenes(303),
-            arch: ArchSpec::resnet34_mini(3, 24, 24, 20),
-            train_config: TrainConfig {
-                epochs: scale.epochs(6),
-                batch_size: 32,
-                lr: 0.05,
-                ..TrainConfig::default()
-            },
-            train_count,
-            val_count,
-            test_count,
+        Self::imagenet_analog(
             scale,
-        }
+            "resnet34-scenes",
+            "ResNet34",
+            0.7146,
+            ArchSpec::resnet34_mini(3, 24, 24, 20),
+            6,
+            0.05,
+        )
     }
 
     /// Builds a Fig. 1-style ImageNet-analog benchmark: a given architecture
@@ -265,7 +266,7 @@ impl Benchmark {
             dataset: families::synth_scenes(303),
             arch,
             train_config: TrainConfig {
-                epochs: scale.epochs(small_epochs),
+                epochs: scale.scenes_epochs(small_epochs),
                 batch_size: 32,
                 lr,
                 ..TrainConfig::default()
@@ -286,16 +287,51 @@ impl Benchmark {
             Benchmark::alexnet_scenes(scale),
             // VGG has no normalization layers, so it needs a gentler
             // learning rate and a longer schedule than the BN networks.
-            Self::imagenet_analog(scale, "vgg16-scenes", "VGG16", 0.716,
-                ArchSpec::vgg_mini(3, 24, 24, 20), 10, 0.02),
-            Self::imagenet_analog(scale, "googlenet-scenes", "GoogleNet", 0.698,
-                ArchSpec::googlenet_mini(3, 24, 24, 20), 6, 0.05),
-            Self::imagenet_analog(scale, "resnet152-scenes", "ResNet_152", 0.783,
-                ArchSpec::resnet152_mini(3, 24, 24, 20), 6, 0.05),
-            Self::imagenet_analog(scale, "inception-scenes", "Inception_V3", 0.775,
-                ArchSpec::inception_mini(3, 24, 24, 20), 6, 0.05),
-            Self::imagenet_analog(scale, "resnext-scenes", "ResNeXt_101", 0.793,
-                ArchSpec::resnext_mini(3, 24, 24, 20), 6, 0.05),
+            Self::imagenet_analog(
+                scale,
+                "vgg16-scenes",
+                "VGG16",
+                0.716,
+                ArchSpec::vgg_mini(3, 24, 24, 20),
+                10,
+                0.02,
+            ),
+            Self::imagenet_analog(
+                scale,
+                "googlenet-scenes",
+                "GoogleNet",
+                0.698,
+                ArchSpec::googlenet_mini(3, 24, 24, 20),
+                6,
+                0.05,
+            ),
+            Self::imagenet_analog(
+                scale,
+                "resnet152-scenes",
+                "ResNet_152",
+                0.783,
+                ArchSpec::resnet152_mini(3, 24, 24, 20),
+                6,
+                0.05,
+            ),
+            Self::imagenet_analog(
+                scale,
+                "inception-scenes",
+                "Inception_V3",
+                0.775,
+                ArchSpec::inception_mini(3, 24, 24, 20),
+                6,
+                0.05,
+            ),
+            Self::imagenet_analog(
+                scale,
+                "resnext-scenes",
+                "ResNeXt_101",
+                0.793,
+                ArchSpec::resnext_mini(3, 24, 24, 20),
+                6,
+                0.05,
+            ),
         ]
     }
 
@@ -362,7 +398,8 @@ impl Benchmark {
             }
         }
         let train = self.data(Split::Train);
-        let (mut member, _) = Member::train(preprocessor, &self.arch, &train, &self.train_config, seed);
+        let (mut member, _) =
+            Member::train(preprocessor, &self.arch, &train, &self.train_config, seed);
         if cache_enabled {
             let blob = encode_params(member.network_mut());
             if let Some(dir) = path.parent() {
@@ -374,30 +411,49 @@ impl Benchmark {
     }
 }
 
-/// Where trained-member blobs are cached. Override with `PGMR_CACHE_DIR`;
-/// defaults to `<workspace>/target/pgmr-model-cache` (falling back to the
-/// OS temp dir when `CARGO_MANIFEST_DIR` is unavailable).
+/// Process-wide cache-dir override, set via [`set_cache_dir`]. Kept
+/// behind a mutex instead of mutating `PGMR_CACHE_DIR` at runtime:
+/// `std::env::set_var` is unsound with concurrent environment reads (and
+/// a hard error in Rust 2024), which made the multi-threaded test runner
+/// racy.
+static CACHE_DIR_OVERRIDE: std::sync::Mutex<Option<PathBuf>> = std::sync::Mutex::new(None);
+
+/// Overrides where trained-member blobs are cached, process-wide and
+/// thread-safe. `None` restores the default resolution (the
+/// `PGMR_CACHE_DIR` environment variable, then the workspace target dir).
+/// Tests that need an isolated cache should use this instead of
+/// `std::env::set_var`.
+pub fn set_cache_dir(dir: Option<PathBuf>) {
+    *CACHE_DIR_OVERRIDE.lock().unwrap() = dir;
+}
+
+/// Where trained-member blobs are cached. Override at runtime with
+/// [`set_cache_dir`] or at launch with `PGMR_CACHE_DIR`; defaults to
+/// `<workspace>/target/pgmr-model-cache` (falling back to the OS temp dir
+/// when `CARGO_MANIFEST_DIR` is unavailable).
 pub fn cache_dir() -> PathBuf {
+    if let Some(dir) = CACHE_DIR_OVERRIDE.lock().unwrap().as_ref() {
+        return dir.clone();
+    }
     if let Ok(dir) = std::env::var("PGMR_CACHE_DIR") {
         return PathBuf::from(dir);
     }
-    let base = std::env::var("CARGO_TARGET_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            // The manifest dir of whichever crate is running; hop to its
-            // workspace target dir heuristically.
-            std::env::var("CARGO_MANIFEST_DIR")
-                .map(|m| {
-                    let mut p = PathBuf::from(m);
-                    // crates/<name> → workspace root
-                    if p.ends_with("core") || p.parent().map(|q| q.ends_with("crates")).unwrap_or(false) {
-                        p.pop();
-                        p.pop();
-                    }
-                    p.join("target")
-                })
-                .unwrap_or_else(|_| std::env::temp_dir())
-        });
+    let base = std::env::var("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        // The manifest dir of whichever crate is running; hop to its
+        // workspace target dir heuristically.
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|m| {
+                let mut p = PathBuf::from(m);
+                // crates/<name> → workspace root
+                if p.ends_with("core") || p.parent().map(|q| q.ends_with("crates")).unwrap_or(false)
+                {
+                    p.pop();
+                    p.pop();
+                }
+                p.join("target")
+            })
+            .unwrap_or_else(|_| std::env::temp_dir())
+    });
     base.join("pgmr-model-cache")
 }
 
@@ -473,19 +529,19 @@ mod tests {
         assert_eq!(b.data(Split::Test).len(), b.test_count);
     }
 
-    /// Serializes the env-var-mutating cache tests.
-    static CACHE_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    /// Serializes the tests that mutate the process-wide cache override.
+    static CACHE_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn cache_key_tracks_config_changes() {
-        let _guard = CACHE_ENV_LOCK.lock().unwrap();
+        let _guard = CACHE_OVERRIDE_LOCK.lock().unwrap();
         // Changing anything that shapes the weights — dataset knobs or the
         // training recipe — must change the cache key, or a tuned config
         // would silently load stale models (a bug class this suite hit
         // during development).
         let base = Benchmark::lenet5_digits(Scale::Tiny);
         let dir = std::env::temp_dir().join(format!("pgmr-fp-cache-{}", std::process::id()));
-        std::env::set_var("PGMR_CACHE_DIR", &dir);
+        set_cache_dir(Some(dir.clone()));
         let _ = std::fs::remove_dir_all(&dir);
         let _ = base.member(Preprocessor::Identity, 7);
         let count_after_first = std::fs::read_dir(&dir).unwrap().count();
@@ -494,7 +550,7 @@ mod tests {
         tweaked.dataset.noise_std += 0.01;
         let _ = tweaked.member(Preprocessor::Identity, 7);
         let count_after_tweak = std::fs::read_dir(&dir).unwrap().count();
-        std::env::remove_var("PGMR_CACHE_DIR");
+        set_cache_dir(None);
         let _ = std::fs::remove_dir_all(&dir);
         assert_eq!(count_after_first, 1);
         assert_eq!(count_after_tweak, 2, "dataset tweak must produce a new cache entry");
@@ -502,14 +558,14 @@ mod tests {
 
     #[test]
     fn member_cache_round_trips() {
-        let _guard = CACHE_ENV_LOCK.lock().unwrap();
+        let _guard = CACHE_OVERRIDE_LOCK.lock().unwrap();
         let b = Benchmark::lenet5_digits(Scale::Tiny);
         // Unique cache dir for the test.
         let dir = std::env::temp_dir().join(format!("pgmr-test-cache-{}", std::process::id()));
-        std::env::set_var("PGMR_CACHE_DIR", &dir);
+        set_cache_dir(Some(dir.clone()));
         let mut first = b.member(Preprocessor::Identity, 42);
         let mut second = b.member(Preprocessor::Identity, 42); // from cache
-        std::env::remove_var("PGMR_CACHE_DIR");
+        set_cache_dir(None);
         let test = b.data(Split::Test).truncated(30);
         for (img, _) in test.images().iter().zip(test.labels()) {
             assert_eq!(first.predict(img), second.predict(img));

@@ -4,9 +4,75 @@
 use crate::decision::{DecisionEngine, Thresholds, Verdict};
 use crate::ensemble::Ensemble;
 use crate::rade::{StagedDecision, StagedEngine};
+use crate::stream::ReliabilityMonitor;
 use pgmr_datasets::Dataset;
 use pgmr_metrics::RateSummary;
+use pgmr_tensor::argmax;
+use pgmr_tensor::checksum::DEFAULT_TOLERANCE;
 use pgmr_tensor::Tensor;
+
+/// Policy for ABFT-guarded inference with graceful degradation (§ fault
+/// model in `DESIGN.md`): how tolerant verification is, how hard the
+/// system tries to recover a faulting member, and when it gives up and
+/// quarantines one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Base ABFT verification tolerance (widened per member for reduced
+    /// precision, see [`crate::ensemble::Member::abft_tolerance`]).
+    pub tolerance: f32,
+    /// Forward-pass retries per member per inference after a checksum
+    /// fault — a transient flip rarely recurs on the re-run.
+    pub retries: usize,
+    /// Unrecovered checksum faults (strikes) before a member is
+    /// quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive solo disagreements (member contradicts an otherwise
+    /// unanimous ensemble) before quarantine — the detector for
+    /// persistent weight corruption, which ABFT checksums cannot see.
+    pub solo_after: u32,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy { tolerance: DEFAULT_TOLERANCE, retries: 1, quarantine_after: 3, solo_after: 5 }
+    }
+}
+
+/// Why a member was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Checksum faults kept firing even after retries.
+    RepeatedChecksumFaults,
+    /// The member persistently contradicted an otherwise unanimous
+    /// ensemble — the signature of corrupted weights.
+    PersistentDisagreement,
+}
+
+/// Degradation events emitted by fault-tolerant inference, drained via
+/// [`PolygraphSystem::drain_fault_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A checksum fault was absorbed by re-running the member.
+    ChecksumRetry {
+        /// Member index.
+        member: usize,
+    },
+    /// A member's forward pass failed verification even after retries; it
+    /// was skipped for this inference.
+    ChecksumStrike {
+        /// Member index.
+        member: usize,
+        /// Accumulated strikes.
+        strikes: u32,
+    },
+    /// A member was removed from the active ensemble.
+    Quarantined {
+        /// Member index.
+        member: usize,
+        /// What pushed it over the line.
+        reason: QuarantineReason,
+    },
+}
 
 /// A deployable PolygraphMR system (Fig. 4): Layer-1 preprocessors and
 /// Layer-2 networks inside the [`Ensemble`], Layer-3 thresholds fixed by
@@ -15,12 +81,30 @@ pub struct PolygraphSystem {
     ensemble: Ensemble,
     thresholds: Thresholds,
     staged: Option<StagedEngine>,
+    fault_policy: Option<FaultPolicy>,
+    /// Per-member activity flags; quarantine clears a flag.
+    active: Vec<bool>,
+    /// Per-member unrecovered checksum-fault counts.
+    strikes: Vec<u32>,
+    /// Per-member consecutive solo-disagreement counts.
+    solo: Vec<u32>,
+    events: Vec<FaultEvent>,
 }
 
 impl PolygraphSystem {
     /// Assembles a system from a trained ensemble and profiled thresholds.
     pub fn new(ensemble: Ensemble, thresholds: Thresholds) -> Self {
-        PolygraphSystem { ensemble, thresholds, staged: None }
+        let n = ensemble.len();
+        PolygraphSystem {
+            ensemble,
+            thresholds,
+            staged: None,
+            fault_policy: None,
+            active: vec![true; n],
+            strikes: vec![0; n],
+            solo: vec![0; n],
+            events: Vec::new(),
+        }
     }
 
     /// The system's thresholds.
@@ -67,6 +151,174 @@ impl PolygraphSystem {
         self.staged.is_some()
     }
 
+    /// Enables (or disables) ABFT-guarded fault-tolerant inference. While
+    /// a policy is set, [`PolygraphSystem::infer`] runs every active
+    /// member through checksum-verified forward passes, retries members
+    /// whose outputs fail verification, and quarantines members that keep
+    /// faulting or persistently contradict the rest of the ensemble.
+    /// Takes precedence over RADE staging (every active member runs).
+    pub fn set_fault_policy(&mut self, policy: Option<FaultPolicy>) {
+        self.fault_policy = policy;
+        self.sync_fault_state();
+    }
+
+    /// The active fault policy, if any.
+    pub fn fault_policy(&self) -> Option<&FaultPolicy> {
+        self.fault_policy.as_ref()
+    }
+
+    /// Indices of quarantined members.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.active.iter().enumerate().filter(|(_, &a)| !a).map(|(i, _)| i).collect()
+    }
+
+    /// Number of members still in the active ensemble.
+    pub fn active_members(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Returns a quarantined member to service and clears its counters
+    /// (after re-verification or repair of the underlying network).
+    pub fn reinstate(&mut self, member: usize) {
+        self.sync_fault_state();
+        self.active[member] = true;
+        self.strikes[member] = 0;
+        self.solo[member] = 0;
+    }
+
+    /// Drains the pending degradation events (oldest first).
+    pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The thresholds actually applied by fault-tolerant inference: when
+    /// quarantine has shrunk the ensemble from `total` to `active`
+    /// members, `Thr_Freq` is re-derived so the required agreement
+    /// *fraction* stays as close as possible to the profiled one —
+    /// `round(freq · active / total)`, half rounding up, clamped to
+    /// `[1, active]`. (Ceiling would be stricter but over-corrects: a
+    /// 2-of-3 system shrunk to 2 members would suddenly demand unanimity
+    /// and lose coverage.) Equal to the base thresholds while the full
+    /// ensemble is active.
+    pub fn effective_thresholds(&self) -> Thresholds {
+        let total = self.ensemble.len();
+        let active = self.active.iter().filter(|&&a| a).count();
+        if active == 0 || active == total {
+            return self.thresholds;
+        }
+        let freq = (self.thresholds.freq * active * 2 + total) / (2 * total);
+        Thresholds::new(self.thresholds.conf, freq.clamp(1, active))
+    }
+
+    /// Resizes the per-member bookkeeping if the ensemble grew or shrank
+    /// (e.g. members pushed through [`PolygraphSystem::ensemble_mut`]).
+    fn sync_fault_state(&mut self) {
+        let n = self.ensemble.len();
+        if self.active.len() != n {
+            self.active.resize(n, true);
+            self.strikes.resize(n, 0);
+            self.solo.resize(n, 0);
+        }
+    }
+
+    /// One fault-tolerant inference: every active member runs an
+    /// ABFT-guarded forward pass; checksum faults trigger up to
+    /// `policy.retries` re-runs, then a strike (the member sits out this
+    /// input). Members reaching `quarantine_after` strikes, or
+    /// `solo_after` consecutive solo disagreements, are quarantined and
+    /// the vote threshold re-derived over the surviving ensemble.
+    fn infer_fault_tolerant(&mut self, image: &Tensor) -> StagedDecision {
+        let policy = *self.fault_policy.as_ref().expect("fault policy set");
+        self.sync_fault_state();
+        let tol = policy.tolerance;
+
+        let mut probs: Vec<Vec<f32>> = Vec::new();
+        let mut voters: Vec<usize> = Vec::new();
+        {
+            let members = self.ensemble.members_mut();
+            for (m, member) in members.iter_mut().enumerate() {
+                if !self.active[m] {
+                    continue;
+                }
+                let mut result = member.predict_checked(image, tol);
+                let mut retried = 0;
+                while result.is_err() && retried < policy.retries {
+                    self.events.push(FaultEvent::ChecksumRetry { member: m });
+                    retried += 1;
+                    result = member.predict_checked(image, tol);
+                }
+                match result {
+                    Ok(p) => {
+                        probs.push(p);
+                        voters.push(m);
+                    }
+                    Err(_) => {
+                        self.strikes[m] += 1;
+                        self.events.push(FaultEvent::ChecksumStrike {
+                            member: m,
+                            strikes: self.strikes[m],
+                        });
+                        if self.strikes[m] >= policy.quarantine_after {
+                            self.active[m] = false;
+                            self.events.push(FaultEvent::Quarantined {
+                                member: m,
+                                reason: QuarantineReason::RepeatedChecksumFaults,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Persistent-disagreement tracking: a member that contradicts an
+        // otherwise unanimous ensemble over and over is running on
+        // corrupted state (ABFT-invisible weight faults land here).
+        if voters.len() >= 3 {
+            let votes: Vec<usize> = probs.iter().map(|p| argmax(p)).collect();
+            for (i, &m) in voters.iter().enumerate() {
+                let mut peers = votes.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v);
+                let first = peers.next().expect("at least two peers");
+                let peers_unanimous = peers.all(|v| v == first);
+                if peers_unanimous && votes[i] != first {
+                    self.solo[m] += 1;
+                    if self.solo[m] >= policy.solo_after && self.active[m] {
+                        self.active[m] = false;
+                        self.events.push(FaultEvent::Quarantined {
+                            member: m,
+                            reason: QuarantineReason::PersistentDisagreement,
+                        });
+                    }
+                } else {
+                    self.solo[m] = 0;
+                }
+            }
+        }
+
+        let activated = probs.len();
+        let verdict = if probs.is_empty() {
+            Verdict::Unreliable { class: None, votes: 0 }
+        } else {
+            DecisionEngine::new(self.effective_thresholds()).decide(&probs)
+        };
+        StagedDecision { verdict, activated }
+    }
+
+    /// Like [`PolygraphSystem::infer`], but feeds the verdict and any
+    /// quarantine events into a [`ReliabilityMonitor`] — the deployment
+    /// glue between per-input fault tolerance and stream-level health.
+    /// The event log stays intact for [`PolygraphSystem::drain_fault_events`].
+    pub fn infer_monitored(&mut self, image: &Tensor, monitor: &mut ReliabilityMonitor) -> Verdict {
+        let seen = self.events.len();
+        let verdict = self.infer(image);
+        for event in &self.events[seen..] {
+            if let FaultEvent::Quarantined { member, .. } = event {
+                monitor.note_quarantine(*member);
+            }
+        }
+        monitor.observe(&verdict);
+        verdict
+    }
+
     /// Classifies one raw image, returning the reliability verdict. In
     /// staged mode only as many member networks run as the input requires.
     pub fn infer(&mut self, image: &Tensor) -> Verdict {
@@ -76,6 +328,9 @@ impl PolygraphSystem {
     /// Like [`PolygraphSystem::infer`] but also reports how many member
     /// networks were activated (always the full count without RADE).
     pub fn infer_counted(&mut self, image: &Tensor) -> StagedDecision {
+        if self.fault_policy.is_some() {
+            return self.infer_fault_tolerant(image);
+        }
         match &self.staged {
             Some(staged) => {
                 let members = self.ensemble.members_mut();
@@ -145,7 +400,7 @@ mod tests {
         assert!(staged_acts.iter().all(|&a| (2..=3).contains(&a)));
         // Staged activation must save work on at least some inputs for a
         // trained, mostly-agreeing ensemble.
-        assert!(staged_acts.iter().any(|&a| a == 2), "no early exits at all");
+        assert!(staged_acts.contains(&2), "no early exits at all");
     }
 
     #[test]
@@ -159,6 +414,107 @@ mod tests {
         if d.verdict.is_reliable() {
             assert_eq!(d.activated, 3);
         }
+    }
+
+    #[test]
+    fn fault_policy_without_faults_matches_plain_inference() {
+        let (mut system, test) = build_system();
+        let (plain, _) = system.evaluate(&test.truncated(30));
+        system.set_fault_policy(Some(FaultPolicy::default()));
+        let (guarded, acts) = system.evaluate(&test.truncated(30));
+        assert_eq!(plain, guarded, "clean guarded inference must not change verdicts");
+        assert!(acts.iter().all(|&a| a == 3));
+        assert!(system.quarantined().is_empty());
+        assert!(system.drain_fault_events().is_empty());
+    }
+
+    #[test]
+    fn repeated_checksum_faults_quarantine_a_member() {
+        use pgmr_faults::{ActivationInjector, FaultSpec, SiteFilter, EXPONENT_BITS};
+        let (mut system, test) = build_system();
+        // Member 1 suffers a barrage of exponent flips on its guarded
+        // outputs: every guarded forward pass fails verification.
+        let guarded = pgmr_faults::guarded_sites(system.ensemble().members()[1].network());
+        let spec = FaultSpec::transient_activations(13, 0.05)
+            .with_bits(EXPONENT_BITS)
+            .with_sites(SiteFilter::Only(guarded));
+        system.ensemble_mut().members_mut()[1]
+            .set_fault_injector(Some(ActivationInjector::new(&spec)));
+        system
+            .set_fault_policy(Some(FaultPolicy { quarantine_after: 3, ..FaultPolicy::default() }));
+
+        for img in &test.images()[..10] {
+            system.infer(img);
+            if !system.quarantined().is_empty() {
+                break;
+            }
+        }
+        assert_eq!(system.quarantined(), vec![1]);
+        let events = system.drain_fault_events();
+        assert!(events.iter().any(|e| matches!(e, FaultEvent::ChecksumRetry { member: 1 })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            FaultEvent::Quarantined { member: 1, reason: QuarantineReason::RepeatedChecksumFaults }
+        )));
+        // The vote bar is re-derived over the 2 survivors:
+        // round(2·2/3) = round(1.33) = 1.
+        assert_eq!(system.effective_thresholds().freq, 1);
+        assert_eq!(system.active_members(), 2);
+    }
+
+    /// Like [`build_system`] but trained long enough that the members
+    /// mostly agree — the graceful-degradation criterion (coverage within
+    /// 2 pp after quarantine) presumes a competent ensemble.
+    fn build_strong_system() -> (PolygraphSystem, Dataset) {
+        let cfg = families::synth_digits(0);
+        let train = cfg.generate(Split::Train, 300);
+        let test = cfg.generate(Split::Test, 150);
+        let spec = ArchSpec::convnet(1, 16, 16, 10);
+        let tc = TrainConfig { epochs: 8, batch_size: 16, lr: 0.08, ..TrainConfig::default() };
+        let (a, _) = Member::train(Preprocessor::Identity, &spec, &train, &tc, 1);
+        let (b, _) = Member::train(Preprocessor::FlipX, &spec, &train, &tc, 2);
+        let (c, _) = Member::train(Preprocessor::Gamma(2.0), &spec, &train, &tc, 3);
+        let ensemble = Ensemble::new(vec![a, b, c]);
+        (PolygraphSystem::new(ensemble, Thresholds::new(0.4, 2)), test)
+    }
+
+    #[test]
+    fn persistent_weight_faults_trigger_solo_quarantine_and_recovery() {
+        use pgmr_faults::{inject_weights, FaultSpec, EXPONENT_BITS};
+        let (mut system, test) = build_strong_system();
+        system.set_fault_policy(Some(FaultPolicy::default()));
+        let (clean, _) = system.evaluate(&test);
+
+        // Corrupt member 2's weights persistently: ABFT checksums stay
+        // consistent with the corrupted weights, so only the ensemble-level
+        // disagreement detector can catch this.
+        let spec = FaultSpec::persistent_weights(17, 0.02).with_bits(EXPONENT_BITS);
+        inject_weights(system.ensemble_mut().members_mut()[2].network_mut(), &spec);
+
+        let mut monitor = crate::stream::ReliabilityMonitor::new(8, 0.9);
+        for img in test.images() {
+            system.infer_monitored(img, &mut monitor);
+            if !system.quarantined().is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            system.quarantined(),
+            vec![2],
+            "corrupted member must be quarantined by solo disagreement"
+        );
+        assert_eq!(monitor.quarantine_log().len(), 1);
+        assert_eq!(monitor.quarantine_log()[0].1, 2);
+
+        // With the corrupted member gone, coverage and accuracy over the
+        // full test set must come back to within 2 pp of the fault-free
+        // ensemble (the paper-level graceful-degradation criterion).
+        let (degraded, acts) = system.evaluate(&test);
+        assert!(acts.iter().all(|&a| a == 2));
+        let cov_gap = (clean.coverage() - degraded.coverage()).abs();
+        let acc_gap = (clean.tp - degraded.tp).abs();
+        assert!(cov_gap <= 0.02, "coverage gap {cov_gap:.4} exceeds 2 pp");
+        assert!(acc_gap <= 0.02, "reliable-accuracy gap {acc_gap:.4} exceeds 2 pp");
     }
 
     #[test]

@@ -45,7 +45,12 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if the vectors' lengths differ or any label is out of range.
-    pub fn new(images: Vec<Tensor>, labels: Vec<usize>, metas: Vec<SampleMeta>, classes: usize) -> Self {
+    pub fn new(
+        images: Vec<Tensor>,
+        labels: Vec<usize>,
+        metas: Vec<SampleMeta>,
+        classes: usize,
+    ) -> Self {
         assert_eq!(images.len(), labels.len(), "image/label count mismatch");
         assert_eq!(images.len(), metas.len(), "image/meta count mismatch");
         assert!(labels.iter().all(|&l| l < classes), "label out of range");
@@ -155,7 +160,11 @@ impl DatasetConfig {
         Dataset::new(images, labels, metas, self.classes)
     }
 
-    fn generate_one<R: Rng>(&self, protos: &[Prototype], rng: &mut R) -> (Tensor, usize, SampleMeta) {
+    fn generate_one<R: Rng>(
+        &self,
+        protos: &[Prototype],
+        rng: &mut R,
+    ) -> (Tensor, usize, SampleMeta) {
         let label = rng.gen_range(0..self.classes);
         let mut img = Tensor::zeros(vec![1, self.channels, self.height, self.width]);
         let mut meta = SampleMeta::clean();
@@ -210,12 +219,7 @@ impl DatasetConfig {
 
         // Additive pixel noise, then clamp into [0, 1].
         if self.noise_std > 0.0 {
-            let noise = Tensor::normal(
-                img.shape().dims().to_vec(),
-                0.0,
-                self.noise_std,
-                rng,
-            );
+            let noise = Tensor::normal(img.shape().dims().to_vec(), 0.0, self.noise_std, rng);
             img = img.add(&noise);
         }
         img.map_in_place(|v| v.clamp(0.0, 1.0));

@@ -168,7 +168,13 @@ impl Prototype {
 
     /// Renders the prototype into an existing `[1, c, h, w]` image,
     /// compositing additively with the given jitter and overall weight.
-    pub fn render_into(&self, image: &mut Tensor, jitter: &Jitter, weight: f32, texture_strength: f32) {
+    pub fn render_into(
+        &self,
+        image: &mut Tensor,
+        jitter: &Jitter,
+        weight: f32,
+        texture_strength: f32,
+    ) {
         let (n, c, h, w) = image.shape().as_nchw();
         assert_eq!(n, 1, "render_into expects a single image");
         let data = image.data_mut();
@@ -224,8 +230,8 @@ impl Prototype {
                     let t = (std::f32::consts::TAU * (self.tex_fx * rx + self.tex_fy * ry)
                         + self.tex_phase)
                         .sin();
-                    for ch in 0..3 {
-                        value[ch] += texture_strength * t * self.tex_color[ch];
+                    for (v, &tc) in value.iter_mut().zip(&self.tex_color) {
+                        *v += texture_strength * t * tc;
                     }
                 }
                 for ch in 0..c {
@@ -314,12 +320,7 @@ mod tests {
         let mut a = Tensor::zeros(vec![1, 1, 12, 12]);
         let mut b = Tensor::zeros(vec![1, 1, 12, 12]);
         proto.render_into(&mut a, &Jitter::identity(), 1.0, 0.0);
-        proto.render_into(
-            &mut b,
-            &Jitter { dx: 0.2, dy: 0.0, rot: 0.4, gain: 1.0 },
-            1.0,
-            0.0,
-        );
+        proto.render_into(&mut b, &Jitter { dx: 0.2, dy: 0.0, rot: 0.4, gain: 1.0 }, 1.0, 0.0);
         assert_ne!(a, b);
     }
 

@@ -1,0 +1,313 @@
+//! Injection-campaign runner: many seeded fault trials against one
+//! network, classified into masked / silent-data-corruption / detected
+//! outcomes, with and without ABFT checksums.
+
+use std::ops::RangeInclusive;
+
+use pgmr_nn::Network;
+use pgmr_tensor::{argmax, Tensor};
+
+use crate::inject::{
+    inject_weights, repair_weights, ActivationInjector, FaultSpec, SiteFilter, ANY_BIT,
+};
+
+/// Mixing constant (golden-ratio based) for deriving per-trial seeds from
+/// the campaign seed, so trials are independent yet fully reproducible.
+const TRIAL_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Classification of one fault-injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The prediction matched the fault-free run (fault absorbed, or no
+    /// fault landed at the sampled rate).
+    Masked,
+    /// The prediction silently changed — the dependability hazard.
+    Sdc,
+    /// An ABFT checksum caught the corruption before it reached the output.
+    Detected,
+}
+
+/// Parameters of an injection campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of independent fault trials.
+    pub trials: usize,
+    /// Campaign seed; trial `t` runs with a seed derived from it.
+    pub seed: u64,
+    /// Per-element flip probability per trial.
+    pub rate: f64,
+    /// Eligible bit positions.
+    pub bits: RangeInclusive<u8>,
+    /// Eligible injection sites.
+    pub sites: SiteFilter,
+    /// ABFT verification tolerance (used when `checksums` is on).
+    pub tolerance: f32,
+    /// Whether the forward pass is ABFT-guarded.
+    pub checksums: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            trials: 100,
+            seed: 0,
+            rate: 1e-3,
+            bits: ANY_BIT,
+            sites: SiteFilter::All,
+            tolerance: pgmr_tensor::checksum::DEFAULT_TOLERANCE,
+            checksums: true,
+        }
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials whose prediction matched the fault-free run.
+    pub masked: usize,
+    /// Trials with a silent prediction change.
+    pub sdc: usize,
+    /// Trials stopped by a checksum violation.
+    pub detected: usize,
+    /// Total bit flips injected across all trials.
+    pub injected: usize,
+}
+
+impl CampaignReport {
+    /// Fraction of trials ending in silent data corruption.
+    pub fn sdc_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.sdc as f64 / self.trials as f64
+    }
+
+    /// Fraction of *unmasked* corruptions that the checksums caught:
+    /// `detected / (detected + sdc)`. 1.0 when nothing went unmasked.
+    pub fn detection_rate(&self) -> f64 {
+        let unmasked = self.detected + self.sdc;
+        if unmasked == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / unmasked as f64
+    }
+}
+
+/// Derives the deterministic seed for trial `t` of a campaign.
+fn trial_seed(campaign_seed: u64, t: usize) -> u64 {
+    campaign_seed.wrapping_add((t as u64 + 1).wrapping_mul(TRIAL_SEED_STRIDE))
+}
+
+fn classify(predicted: usize, golden: usize) -> TrialOutcome {
+    if predicted == golden {
+        TrialOutcome::Masked
+    } else {
+        TrialOutcome::Sdc
+    }
+}
+
+/// Runs `cfg.trials` transient activation-fault trials against `net`,
+/// cycling through `inputs`. Each trial compares the faulty prediction to
+/// the fault-free prediction on the same input; with checksums on, a
+/// verification failure counts as [`TrialOutcome::Detected`].
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn run_activation_campaign(
+    net: &mut Network,
+    inputs: &[Tensor],
+    cfg: &CampaignConfig,
+) -> CampaignReport {
+    assert!(!inputs.is_empty(), "campaign needs at least one input");
+    let golden: Vec<usize> = inputs.iter().map(|x| argmax(net.forward(x, false).data())).collect();
+
+    let mut report =
+        CampaignReport { trials: cfg.trials, masked: 0, sdc: 0, detected: 0, injected: 0 };
+    for t in 0..cfg.trials {
+        let input = &inputs[t % inputs.len()];
+        let spec = FaultSpec::transient_activations(trial_seed(cfg.seed, t), cfg.rate)
+            .with_bits(cfg.bits.clone())
+            .with_sites(cfg.sites.clone());
+        let inj = ActivationInjector::new(&spec);
+        inj.begin_forward();
+        let hook = |x: &mut Tensor| inj.apply(x);
+        let outcome = if cfg.checksums {
+            match net.forward_checked(input, false, Some(&hook), cfg.tolerance) {
+                Err(_) => TrialOutcome::Detected,
+                Ok(logits) => classify(argmax(logits.data()), golden[t % inputs.len()]),
+            }
+        } else {
+            let logits = net.forward_with_hook(input, false, &hook);
+            classify(argmax(logits.data()), golden[t % inputs.len()])
+        };
+        report.injected += inj.injected();
+        match outcome {
+            TrialOutcome::Masked => report.masked += 1,
+            TrialOutcome::Sdc => report.sdc += 1,
+            TrialOutcome::Detected => report.detected += 1,
+        }
+    }
+    report
+}
+
+/// Runs `cfg.trials` weight-fault trials: each trial injects persistent
+/// flips, evaluates one input, then repairs the network. Because the ABFT
+/// checksums are derived from the corrupted weights they stay consistent,
+/// so with `cfg.checksums` on, weight faults still surface as
+/// [`TrialOutcome::Sdc`] as long as the arithmetic stays finite (flips
+/// violent enough to overflow into `inf`/`NaN` do trip verification) —
+/// the experimental evidence that weight corruption needs ensemble-level
+/// quarantine rather than checksums.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn run_weight_campaign(
+    net: &mut Network,
+    inputs: &[Tensor],
+    cfg: &CampaignConfig,
+) -> CampaignReport {
+    assert!(!inputs.is_empty(), "campaign needs at least one input");
+    let golden: Vec<usize> = inputs.iter().map(|x| argmax(net.forward(x, false).data())).collect();
+
+    let mut report =
+        CampaignReport { trials: cfg.trials, masked: 0, sdc: 0, detected: 0, injected: 0 };
+    for t in 0..cfg.trials {
+        let input = &inputs[t % inputs.len()];
+        let spec = FaultSpec::persistent_weights(trial_seed(cfg.seed, t), cfg.rate)
+            .with_bits(cfg.bits.clone())
+            .with_sites(cfg.sites.clone());
+        let records = inject_weights(net, &spec);
+        let outcome = if cfg.checksums {
+            match net.forward_checked(input, false, None, cfg.tolerance) {
+                Err(_) => TrialOutcome::Detected,
+                Ok(logits) => classify(argmax(logits.data()), golden[t % inputs.len()]),
+            }
+        } else {
+            let logits = net.forward(input, false);
+            classify(argmax(logits.data()), golden[t % inputs.len()])
+        };
+        report.injected += records.len();
+        repair_weights(net, &records);
+        match outcome {
+            TrialOutcome::Masked => report.masked += 1,
+            TrialOutcome::Sdc => report.sdc += 1,
+            TrialOutcome::Detected => report.detected += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{guarded_sites, EXPONENT_BITS};
+    use pgmr_nn::layer::Layer;
+    use pgmr_nn::layers::{Conv2d, Dense, Flatten, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net_and_inputs() -> (Network, Vec<Tensor>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(1, 4, 8, 8, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 8 * 8, 6, &mut rng)),
+        ];
+        let net = Network::new(layers, "campaign-net", 6);
+        let inputs =
+            (0..4).map(|_| Tensor::uniform(vec![1, 1, 8, 8], -1.0, 1.0, &mut rng)).collect();
+        (net, inputs)
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_across_runs() {
+        let (mut net, inputs) = net_and_inputs();
+        let cfg = CampaignConfig { trials: 40, seed: 123, rate: 5e-3, ..Default::default() };
+        let a = run_activation_campaign(&mut net, &inputs, &cfg);
+        let b = run_activation_campaign(&mut net, &inputs, &cfg);
+        assert_eq!(a, b);
+        let c = run_weight_campaign(&mut net, &inputs, &cfg);
+        let d = run_weight_campaign(&mut net, &inputs, &cfg);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn checksums_catch_guarded_exponent_flips() {
+        let (mut net, inputs) = net_and_inputs();
+        let cfg = CampaignConfig {
+            trials: 120,
+            seed: 7,
+            rate: 2e-3,
+            bits: EXPONENT_BITS,
+            sites: SiteFilter::Only(guarded_sites(&net)),
+            ..Default::default()
+        };
+        let report = run_activation_campaign(&mut net, &inputs, &cfg);
+        assert!(report.injected > 0, "rate too low, nothing injected");
+        assert!(
+            report.detection_rate() >= 0.95,
+            "ABFT detection rate {:.3} below 0.95 ({} sdc, {} detected)",
+            report.detection_rate(),
+            report.sdc,
+            report.detected
+        );
+    }
+
+    #[test]
+    fn unguarded_run_suffers_more_sdc() {
+        let (mut net, inputs) = net_and_inputs();
+        let base = CampaignConfig {
+            trials: 150,
+            seed: 21,
+            rate: 5e-3,
+            bits: EXPONENT_BITS,
+            sites: SiteFilter::Only(guarded_sites(&net)),
+            ..Default::default()
+        };
+        let guarded = run_activation_campaign(&mut net, &inputs, &base);
+        let unguarded = run_activation_campaign(
+            &mut net,
+            &inputs,
+            &CampaignConfig { checksums: false, ..base },
+        );
+        assert!(
+            guarded.sdc < unguarded.sdc || unguarded.sdc == 0,
+            "checksums should strictly reduce SDC: guarded {} vs unguarded {}",
+            guarded.sdc,
+            unguarded.sdc
+        );
+    }
+
+    #[test]
+    fn weight_faults_evade_checksums() {
+        let (mut net, inputs) = net_and_inputs();
+        let cfg = CampaignConfig {
+            trials: 60,
+            seed: 3,
+            rate: 1e-2,
+            bits: EXPONENT_BITS,
+            ..Default::default()
+        };
+        let report = run_weight_campaign(&mut net, &inputs, &cfg);
+        assert!(report.injected > 0);
+        // ABFT checksums are derived from the (corrupted) weights, so they
+        // stay consistent: nothing is detected, corruption is silent.
+        assert_eq!(report.detected, 0);
+        assert!(report.sdc > 0, "1% exponent flips should corrupt predictions");
+    }
+
+    #[test]
+    fn report_rates_handle_edge_cases() {
+        let empty = CampaignReport { trials: 0, masked: 0, sdc: 0, detected: 0, injected: 0 };
+        assert_eq!(empty.sdc_rate(), 0.0);
+        assert_eq!(empty.detection_rate(), 1.0);
+        let mixed = CampaignReport { trials: 10, masked: 5, sdc: 2, detected: 3, injected: 9 };
+        assert!((mixed.sdc_rate() - 0.2).abs() < 1e-12);
+        assert!((mixed.detection_rate() - 0.6).abs() < 1e-12);
+    }
+}

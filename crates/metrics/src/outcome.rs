@@ -93,13 +93,7 @@ pub fn summarize(outcomes: &[Outcome]) -> RateSummary {
         counts[idx] += 1;
     }
     let f = |c: usize| c as f64 / total as f64;
-    RateSummary {
-        tp: f(counts[0]),
-        fp: f(counts[1]),
-        tn: f(counts[2]),
-        fn_: f(counts[3]),
-        total,
-    }
+    RateSummary { tp: f(counts[0]), fp: f(counts[1]), tn: f(counts[2]), fn_: f(counts[3]), total }
 }
 
 #[cfg(test)]

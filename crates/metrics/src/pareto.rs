@@ -19,8 +19,7 @@ impl<T> ParetoPoint<T> {
     /// True when `self` dominates `other`: at least as good on both axes
     /// and strictly better on one.
     pub fn dominates(&self, other: &ParetoPoint<T>) -> bool {
-        (self.tp >= other.tp && self.fp <= other.fp)
-            && (self.tp > other.tp || self.fp < other.fp)
+        (self.tp >= other.tp && self.fp <= other.fp) && (self.tp > other.tp || self.fp < other.fp)
     }
 }
 

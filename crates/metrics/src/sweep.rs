@@ -60,7 +60,8 @@ pub fn expected_calibration_error(records: &[PredictionRecord], bins: usize) -> 
     let mut correct_sum = vec![0.0f64; bins];
     let mut counts = vec![0usize; bins];
     for r in records {
-        let b = ((r.confidence.clamp(0.0, 1.0) as f64) * bins as f64).min(bins as f64 - 1.0) as usize;
+        let b =
+            ((r.confidence.clamp(0.0, 1.0) as f64) * bins as f64).min(bins as f64 - 1.0) as usize;
         conf_sum[b] += r.confidence as f64;
         correct_sum[b] += if r.is_correct() { 1.0 } else { 0.0 };
         counts[b] += 1;
@@ -96,9 +97,8 @@ mod tests {
 
     #[test]
     fn rates_are_monotone_in_threshold() {
-        let records: Vec<PredictionRecord> = (0..100)
-            .map(|i| rec(i % 3 != 0, (i as f32) / 100.0))
-            .collect();
+        let records: Vec<PredictionRecord> =
+            (0..100).map(|i| rec(i % 3 != 0, (i as f32) / 100.0)).collect();
         let thresholds: Vec<f32> = (0..=10).map(|i| i as f32 / 10.0).collect();
         let sweep = threshold_sweep(&records, &thresholds);
         for pair in sweep.windows(2) {

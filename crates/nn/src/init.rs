@@ -17,7 +17,12 @@ pub fn he_normal<R: Rng>(shape: Vec<usize>, fan_in: usize, rng: &mut R) -> Tenso
 
 /// Xavier/Glorot uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform<R: Rng>(shape: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+pub fn xavier_uniform<R: Rng>(
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     Tensor::uniform(shape, -a, a, rng)

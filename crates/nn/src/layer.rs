@@ -1,5 +1,6 @@
 //! The [`Layer`] trait and parameter/cost accounting types.
 
+use pgmr_tensor::checksum::{ChecksumFault, GemmChecksums};
 use pgmr_tensor::Tensor;
 
 /// A trainable parameter together with its accumulated gradient.
@@ -45,6 +46,37 @@ pub struct LayerCost {
     pub output_elems: u64,
 }
 
+/// ABFT expectations over one layer's output tensor: a list of GEMM-result
+/// checksum blocks, each anchored at a flat offset into the output data.
+///
+/// Dense layers produce a single block covering the whole `[n, out]`
+/// output; convolutions produce one `[out_c, oh·ow]` block per image.
+#[derive(Debug, Clone)]
+pub struct OutputChecksum {
+    segments: Vec<(usize, GemmChecksums)>,
+}
+
+impl OutputChecksum {
+    /// Builds an expectation from `(flat_offset, checksums)` blocks.
+    pub fn new(segments: Vec<(usize, GemmChecksums)>) -> Self {
+        OutputChecksum { segments }
+    }
+
+    /// Verifies a (possibly corrupted) output tensor against every block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block extends past the tensor's data.
+    pub fn verify(&self, output: &Tensor, tolerance: f32) -> Result<(), ChecksumFault> {
+        let data = output.data();
+        for (offset, sums) in &self.segments {
+            let len = sums.rows() * sums.cols();
+            sums.verify(&data[*offset..*offset + len], tolerance)?;
+        }
+        Ok(())
+    }
+}
+
 /// A differentiable network layer.
 ///
 /// The contract mirrors classic define-by-run frameworks:
@@ -62,6 +94,18 @@ pub struct LayerCost {
 pub trait Layer: Send {
     /// Runs the layer on a `[n, …]` batch, caching state for `backward`.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Like [`Layer::forward`], but additionally returns ABFT checksum
+    /// expectations over the output when the layer's core is a guarded
+    /// GEMM (dense and convolution layers). Layers without a guarded core
+    /// return `None` — their outputs are not ABFT-protected.
+    fn forward_with_checksum(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+    ) -> (Tensor, Option<OutputChecksum>) {
+        (self.forward(input, train), None)
+    }
 
     /// Propagates gradients; returns the gradient w.r.t. the forward input.
     ///

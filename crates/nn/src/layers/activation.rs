@@ -23,10 +23,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .input_cache
-            .as_ref()
-            .expect("relu backward called before forward");
+        let input = self.input_cache.as_ref().expect("relu backward called before forward");
         relu_backward(input, grad_output)
     }
 
@@ -41,10 +38,14 @@ impl Layer for Relu {
             kind: "relu",
             macs: 0,
             param_elems: 0,
-            output_elems: self.input_cache.as_ref().map(|t| {
-                let dims = t.shape().dims();
-                (t.len() / dims[0]) as u64
-            }).unwrap_or(0),
+            output_elems: self
+                .input_cache
+                .as_ref()
+                .map(|t| {
+                    let dims = t.shape().dims();
+                    (t.len() / dims[0]) as u64
+                })
+                .unwrap_or(0),
         }
     }
 

@@ -70,9 +70,9 @@ impl Layer for BatchNorm2d {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for img in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let base = (img * c + ch) * plane;
-                    mean[ch] += data[base..base + plane].iter().sum::<f32>();
+                    *m += data[base..base + plane].iter().sum::<f32>();
                 }
             }
             for m in &mut mean {
@@ -82,10 +82,8 @@ impl Layer for BatchNorm2d {
                 for ch in 0..c {
                     let base = (img * c + ch) * plane;
                     let m = mean[ch];
-                    var[ch] += data[base..base + plane]
-                        .iter()
-                        .map(|&x| (x - m) * (x - m))
-                        .sum::<f32>();
+                    var[ch] +=
+                        data[base..base + plane].iter().map(|&x| (x - m) * (x - m)).sum::<f32>();
                 }
             }
             for v in &mut var {
@@ -130,10 +128,7 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("batchnorm backward called before training forward");
+        let cache = self.cache.as_ref().expect("batchnorm backward called before training forward");
         let dims = &cache.input_dims;
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let plane = h * w;
@@ -230,7 +225,8 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + plane]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
@@ -268,12 +264,7 @@ mod tests {
         let dx = bn.backward(&w_t);
 
         let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
-            bn.forward(x, true)
-                .data()
-                .iter()
-                .zip(&weights)
-                .map(|(a, b)| a * b)
-                .sum()
+            bn.forward(x, true).data().iter().zip(&weights).map(|(a, b)| a * b).sum()
         };
         let eps = 1e-2;
         for &flat in &[0usize, 5, 13, 30] {

@@ -86,11 +86,7 @@ impl Residual {
     /// projection.
     pub fn new(body: Vec<Box<dyn Layer>>, projection: Option<Box<dyn Layer>>) -> Self {
         assert!(!body.is_empty(), "residual body cannot be empty");
-        Residual {
-            body,
-            projection,
-            sum_cache: None,
-        }
+        Residual { body, projection, sum_cache: None }
     }
 }
 
@@ -121,10 +117,7 @@ impl Layer for Residual {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let sum = self
-            .sum_cache
-            .as_ref()
-            .expect("residual backward called before forward");
+        let sum = self.sum_cache.as_ref().expect("residual backward called before forward");
         let g_sum = relu_backward(sum, grad_output);
         // Body path.
         let mut g = g_sum.clone();
@@ -153,10 +146,7 @@ impl Layer for Residual {
     }
 
     fn cost(&self) -> LayerCost {
-        let mut total = LayerCost {
-            kind: "residual",
-            ..LayerCost::default()
-        };
+        let mut total = LayerCost { kind: "residual", ..LayerCost::default() };
         for layer in &self.body {
             let c = layer.cost();
             total.macs += c.macs;
@@ -217,12 +207,7 @@ impl DenseBlock {
     pub fn new(units: Vec<Box<dyn Layer>>, in_c: usize, growth: usize) -> Self {
         assert!(!units.is_empty(), "dense block needs at least one unit");
         assert!(growth > 0, "growth must be positive");
-        DenseBlock {
-            units,
-            in_c,
-            growth,
-            pre_relu_cache: Vec::new(),
-        }
+        DenseBlock { units, in_c, growth, pre_relu_cache: Vec::new() }
     }
 
     /// Output channel count: `in_c + units * growth`.
@@ -289,10 +274,7 @@ impl Layer for DenseBlock {
     }
 
     fn cost(&self) -> LayerCost {
-        let mut total = LayerCost {
-            kind: "dense_block",
-            ..LayerCost::default()
-        };
+        let mut total = LayerCost { kind: "dense_block", ..LayerCost::default() };
         for unit in &self.units {
             let c = unit.cost();
             total.macs += c.macs;
@@ -340,9 +322,7 @@ mod tests {
     #[test]
     fn residual_identity_skip_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        let body: Vec<Box<dyn Layer>> = vec![
-            Box::new(Conv2d::new(4, 4, 6, 6, 3, 1, 1, &mut rng)),
-        ];
+        let body: Vec<Box<dyn Layer>> = vec![Box::new(Conv2d::new(4, 4, 6, 6, 3, 1, 1, &mut rng))];
         let mut res = Residual::new(body, None);
         let x = Tensor::uniform(vec![2, 4, 6, 6], -1.0, 1.0, &mut rng);
         let y = res.forward(&x, true);
@@ -354,9 +334,7 @@ mod tests {
     #[test]
     fn residual_gradient_matches_finite_difference() {
         let mut rng = StdRng::seed_from_u64(2);
-        let body: Vec<Box<dyn Layer>> = vec![
-            Box::new(Conv2d::new(2, 2, 4, 4, 3, 1, 1, &mut rng)),
-        ];
+        let body: Vec<Box<dyn Layer>> = vec![Box::new(Conv2d::new(2, 2, 4, 4, 3, 1, 1, &mut rng))];
         let mut res = Residual::new(body, None);
         let x = Tensor::uniform(vec![1, 2, 4, 4], -1.0, 1.0, &mut rng);
         let weights: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin()).collect();
@@ -371,13 +349,7 @@ mod tests {
             xm.data_mut()[flat] -= eps;
             let f = |t: &Tensor| -> f32 {
                 let mut probe = res.clone();
-                probe
-                    .forward(t, true)
-                    .data()
-                    .iter()
-                    .zip(&weights)
-                    .map(|(a, b)| a * b)
-                    .sum()
+                probe.forward(t, true).data().iter().zip(&weights).map(|(a, b)| a * b).sum()
             };
             let numeric = (f(&xp) - f(&xm)) / (2.0 * eps);
             assert!(
@@ -425,13 +397,7 @@ mod tests {
             xm.data_mut()[flat] -= eps;
             let f = |t: &Tensor| -> f32 {
                 let mut probe = block.clone();
-                probe
-                    .forward(t, true)
-                    .data()
-                    .iter()
-                    .zip(&weights)
-                    .map(|(a, b)| a * b)
-                    .sum()
+                probe.forward(t, true).data().iter().zip(&weights).map(|(a, b)| a * b).sum()
             };
             let numeric = (f(&xp) - f(&xm)) / (2.0 * eps);
             assert!(

@@ -1,7 +1,8 @@
 //! 2-D convolution via im2col + GEMM.
 
 use crate::init::he_normal;
-use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::layer::{Layer, LayerCost, OutputChecksum, ParamSlot};
+use pgmr_tensor::checksum::GemmChecksums;
 use pgmr_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
 use pgmr_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
 use rand::Rng;
@@ -27,6 +28,7 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics if the kernel does not fit in the padded input.
+    #[allow(clippy::too_many_arguments)] // mirrors the conv geometry tuple
     pub fn new<R: Rng>(
         in_c: usize,
         out_c: usize,
@@ -80,17 +82,31 @@ impl Layer for Conv2d {
             for (ch, row) in out_img.chunks_mut(spatial).enumerate() {
                 row.fill(self.bias.value.data()[ch]);
             }
-            gemm(
-                self.out_c,
-                patch,
-                spatial,
-                self.weight.value.data(),
-                &cols,
-                out_img,
-            );
+            gemm(self.out_c, patch, spatial, self.weight.value.data(), &cols, out_img);
             self.cols_cache.push(cols);
         }
         Tensor::from_vec(vec![n, self.out_c, self.geom.out_h, self.geom.out_w], out)
+    }
+
+    fn forward_with_checksum(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+    ) -> (Tensor, Option<OutputChecksum>) {
+        let out = self.forward(input, train);
+        let n = input.shape().dim(0);
+        let spatial = self.geom.out_spatial();
+        let patch = self.geom.patch_len();
+        // forward() just refilled cols_cache for this batch; derive one
+        // checksum block per image from the same patch matrices.
+        let mut segments = Vec::with_capacity(n);
+        for (i, cols) in self.cols_cache.iter().enumerate() {
+            let mut sums =
+                GemmChecksums::for_ab(self.out_c, patch, spatial, self.weight.value.data(), cols);
+            sums.add_broadcast_col(self.bias.value.data());
+            segments.push((i * self.out_c * spatial, sums));
+        }
+        (out, Some(OutputChecksum::new(segments)))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -1,7 +1,8 @@
 //! Fully-connected (dense) layers.
 
 use crate::init::he_normal;
-use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::layer::{Layer, LayerCost, OutputChecksum, ParamSlot};
+use pgmr_tensor::checksum::GemmChecksums;
 use pgmr_tensor::gemm::{gemm_a_bt, gemm_at_b};
 use pgmr_tensor::Tensor;
 use rand::Rng;
@@ -46,11 +47,7 @@ impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 2, "dense expects [n, features]");
         let n = input.shape().dim(0);
-        assert_eq!(
-            input.shape().dim(1),
-            self.in_features,
-            "dense input feature mismatch"
-        );
+        assert_eq!(input.shape().dim(1), self.in_features, "dense input feature mismatch");
         let mut out = vec![0.0f32; n * self.out_features];
         // y = x (n x in) * W^T (in x out) + bias
         for row in out.chunks_mut(self.out_features) {
@@ -68,11 +65,26 @@ impl Layer for Dense {
         Tensor::from_vec(vec![n, self.out_features], out)
     }
 
+    fn forward_with_checksum(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+    ) -> (Tensor, Option<OutputChecksum>) {
+        let out = self.forward(input, train);
+        let n = input.shape().dim(0);
+        let mut sums = GemmChecksums::for_a_bt(
+            n,
+            self.in_features,
+            self.out_features,
+            input.data(),
+            self.weight.value.data(),
+        );
+        sums.add_broadcast_row(self.bias.value.data());
+        (out, Some(OutputChecksum::new(vec![(0, sums)])))
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .input_cache
-            .as_ref()
-            .expect("dense backward called before forward");
+        let input = self.input_cache.as_ref().expect("dense backward called before forward");
         let n = input.shape().dim(0);
         assert_eq!(grad_output.shape().dims(), &[n, self.out_features]);
 
@@ -159,7 +171,8 @@ mod tests {
             xp.data_mut()[flat] += eps;
             let mut xm = x.clone();
             xm.data_mut()[flat] -= eps;
-            let numeric = (dense.forward(&xp, true).sum() - dense.forward(&xm, true).sum()) / (2.0 * eps);
+            let numeric =
+                (dense.forward(&xp, true).sum() - dense.forward(&xm, true).sum()) / (2.0 * eps);
             assert!((numeric - dx.data()[flat]).abs() < 1e-2);
         }
 

@@ -27,10 +27,7 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self
-            .input_dims
-            .clone()
-            .expect("flatten backward called before forward");
+        let dims = self.input_dims.clone().expect("flatten backward called before forward");
         grad_output.reshape(dims)
     }
 

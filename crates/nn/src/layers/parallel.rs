@@ -24,10 +24,7 @@ impl Parallel {
     /// Panics if `branches` is empty or any branch is empty.
     pub fn new(branches: Vec<Vec<Box<dyn Layer>>>) -> Self {
         assert!(!branches.is_empty(), "parallel block needs at least one branch");
-        assert!(
-            branches.iter().all(|b| !b.is_empty()),
-            "every branch needs at least one layer"
-        );
+        assert!(branches.iter().all(|b| !b.is_empty()), "every branch needs at least one layer");
         Parallel { branches, branch_channels: Vec::new() }
     }
 
@@ -39,10 +36,7 @@ impl Parallel {
 
 impl Clone for Parallel {
     fn clone(&self) -> Self {
-        Parallel {
-            branches: self.branches.clone(),
-            branch_channels: self.branch_channels.clone(),
-        }
+        Parallel { branches: self.branches.clone(), branch_channels: self.branch_channels.clone() }
     }
 }
 
@@ -182,14 +176,10 @@ mod tests {
 
     fn block(rng: &mut StdRng) -> Parallel {
         // Two branches: 1x1 conv (3 ch) and 3x3 conv (2 ch) — inception-ish.
-        let b1: Vec<Box<dyn Layer>> = vec![
-            Box::new(Conv2d::new(2, 3, 5, 5, 1, 1, 0, rng)),
-            Box::new(Relu::new()),
-        ];
-        let b2: Vec<Box<dyn Layer>> = vec![
-            Box::new(Conv2d::new(2, 2, 5, 5, 3, 1, 1, rng)),
-            Box::new(Relu::new()),
-        ];
+        let b1: Vec<Box<dyn Layer>> =
+            vec![Box::new(Conv2d::new(2, 3, 5, 5, 1, 1, 0, rng)), Box::new(Relu::new())];
+        let b2: Vec<Box<dyn Layer>> =
+            vec![Box::new(Conv2d::new(2, 2, 5, 5, 3, 1, 1, rng)), Box::new(Relu::new())];
         Parallel::new(vec![b1, b2])
     }
 
@@ -215,13 +205,7 @@ mod tests {
         let eps = 1e-3;
         let f = |t: &Tensor| -> f32 {
             let mut probe = p.clone();
-            probe
-                .forward(t, true)
-                .data()
-                .iter()
-                .zip(&weights)
-                .map(|(a, b)| a * b)
-                .sum()
+            probe.forward(t, true).data().iter().zip(&weights).map(|(a, b)| a * b).sum()
         };
         for &flat in &[0usize, 11, 29, 49] {
             let mut xp = x.clone();

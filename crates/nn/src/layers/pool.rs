@@ -24,12 +24,7 @@ impl MaxPool2d {
     /// Panics if `window == 0`.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "pool window must be positive");
-        MaxPool2d {
-            window,
-            argmax_cache: Vec::new(),
-            input_shape: None,
-            output_elems_per_image: 0,
-        }
+        MaxPool2d { window, argmax_cache: Vec::new(), input_shape: None, output_elems_per_image: 0 }
     }
 }
 
@@ -37,10 +32,7 @@ impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         let (n, c, h, w) = input.shape().as_nchw();
         let k = self.window;
-        assert!(
-            h >= k && w >= k,
-            "pool window {k} larger than spatial dims {h}x{w}"
-        );
+        assert!(h >= k && w >= k, "pool window {k} larger than spatial dims {h}x{w}");
         let oh = h / k;
         let ow = w / k;
         let data = input.data();
@@ -77,10 +69,7 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .input_shape
-            .clone()
-            .expect("pool backward called before forward");
+        let shape = self.input_shape.clone().expect("pool backward called before forward");
         assert_eq!(grad_output.len(), self.argmax_cache.len());
         let mut grad_in = Tensor::zeros(shape);
         let gi = grad_in.data_mut();
@@ -142,10 +131,7 @@ impl Layer for AvgPoolGlobal {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .input_shape
-            .clone()
-            .expect("avgpool backward called before forward");
+        let shape = self.input_shape.clone().expect("avgpool backward called before forward");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let plane = h * w;
         let mut grad_in = Tensor::zeros(shape);
@@ -170,17 +156,8 @@ impl Layer for AvgPoolGlobal {
     }
 
     fn cost(&self) -> LayerCost {
-        let out = self
-            .input_shape
-            .as_ref()
-            .map(|s| s[1] as u64)
-            .unwrap_or(0);
-        LayerCost {
-            kind: "avgpool_global",
-            macs: 0,
-            param_elems: 0,
-            output_elems: out,
-        }
+        let out = self.input_shape.as_ref().map(|s| s[1] as u64).unwrap_or(0);
+        LayerCost { kind: "avgpool_global", macs: 0, param_elems: 0, output_elems: out }
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -1,6 +1,7 @@
 //! Sequential network container.
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use pgmr_tensor::checksum::ChecksumFault;
 use pgmr_tensor::{softmax, Tensor};
 
 /// A feed-forward network: an ordered stack of [`Layer`]s ending in a
@@ -48,14 +49,14 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `layers` is empty or `num_classes < 2`.
-    pub fn new(layers: Vec<Box<dyn Layer>>, arch_id: impl Into<String>, num_classes: usize) -> Self {
+    pub fn new(
+        layers: Vec<Box<dyn Layer>>,
+        arch_id: impl Into<String>,
+        num_classes: usize,
+    ) -> Self {
         assert!(!layers.is_empty(), "network needs at least one layer");
         assert!(num_classes >= 2, "need at least two classes");
-        Network {
-            layers,
-            arch_id: arch_id.into(),
-            num_classes,
-        }
+        Network { layers, arch_id: arch_id.into(), num_classes }
     }
 
     /// Stable architecture identifier.
@@ -105,6 +106,40 @@ impl Network {
         x
     }
 
+    /// ABFT-guarded forward pass: every dense/convolution output is
+    /// verified against row/column checksums derived from the layer's
+    /// inputs. The optional `hook` runs after every layer *before* its
+    /// output is verified — exactly where a transient fault (or an
+    /// injected bit flip) lands between a GEMM and its consumer — so
+    /// corruption of guarded outputs is caught, while a hook that merely
+    /// perturbs values within `tolerance` (reduced-precision rounding with
+    /// a matching tolerance) passes.
+    ///
+    /// Returns the first checksum violation instead of logits.
+    pub fn forward_checked(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        hook: Option<&dyn Fn(&mut Tensor)>,
+        tolerance: f32,
+    ) -> Result<Tensor, ChecksumFault> {
+        let mut x = input.clone();
+        if let Some(h) = hook {
+            h(&mut x);
+        }
+        for layer in &mut self.layers {
+            let (mut y, sums) = layer.forward_with_checksum(&x, train);
+            if let Some(h) = hook {
+                h(&mut y);
+            }
+            if let Some(sums) = sums {
+                sums.verify(&y, tolerance)?;
+            }
+            x = y;
+        }
+        Ok(x)
+    }
+
     /// Runs the backward pass from the loss gradient w.r.t. the logits.
     pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
         let mut g = grad_logits.clone();
@@ -118,22 +153,14 @@ impl Network {
     /// (inference mode).
     pub fn predict_proba(&mut self, input: &Tensor) -> Vec<Vec<f32>> {
         let logits = self.forward(input, false);
-        logits
-            .data()
-            .chunks(self.num_classes)
-            .map(softmax)
-            .collect()
+        logits.data().chunks(self.num_classes).map(softmax).collect()
     }
 
     /// Raw logits for a batch in inference mode (used by calibration, which
     /// must rescale logits before the softmax).
     pub fn predict_logits(&mut self, input: &Tensor) -> Vec<Vec<f32>> {
         let logits = self.forward(input, false);
-        logits
-            .data()
-            .chunks(self.num_classes)
-            .map(|c| c.to_vec())
-            .collect()
+        logits.data().chunks(self.num_classes).map(|c| c.to_vec()).collect()
     }
 
     /// Visits every parameter slot in a stable order.
@@ -177,11 +204,7 @@ impl Network {
         let mut i = 0;
         self.visit_slots(&mut |slot| {
             assert!(i < state.len(), "state dict too short");
-            assert_eq!(
-                slot.value.shape(),
-                state[i].shape(),
-                "state tensor {i} shape mismatch"
-            );
+            assert_eq!(slot.value.shape(), state[i].shape(), "state tensor {i} shape mismatch");
             slot.value = state[i].clone();
             i += 1;
         });
@@ -264,6 +287,39 @@ mod tests {
         // (all zero at init) — logits must be exactly zero.
         let out = net.forward_with_hook(&x, false, &|t: &mut Tensor| t.map_in_place(|_| 0.0));
         assert_eq!(out.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_checked_passes_clean_and_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::uniform(vec![3, 1, 2, 4], -1.0, 1.0, &mut rng);
+        let plain = net.forward(&x, false);
+        let checked =
+            net.forward_checked(&x, false, None, 1e-4).expect("clean forward must verify");
+        assert_eq!(plain.data(), checked.data());
+    }
+
+    #[test]
+    fn forward_checked_catches_hook_injected_flip() {
+        use std::cell::Cell;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::uniform(vec![2, 1, 2, 4], -1.0, 1.0, &mut rng);
+        // Flip an exponent bit in the first dense output (hook call #2:
+        // input, then flatten, then dense — flatten/input are unguarded, so
+        // target the third invocation).
+        let calls = Cell::new(0usize);
+        let hook = |t: &mut Tensor| {
+            let c = calls.get();
+            calls.set(c + 1);
+            if c == 2 {
+                let d = t.data_mut();
+                d[1] = f32::from_bits(d[1].to_bits() ^ (1 << 30));
+            }
+        };
+        let err = net.forward_checked(&x, false, Some(&hook), 1e-4);
+        assert!(err.is_err(), "exponent flip on a dense output must be caught");
     }
 
     #[test]

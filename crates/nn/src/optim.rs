@@ -28,12 +28,7 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
-        Sgd {
-            lr,
-            momentum,
-            weight_decay,
-            velocity: Vec::new(),
-        }
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
     }
 
     /// Applies one update step using the gradients currently stored in the
@@ -49,11 +44,7 @@ impl Sgd {
                 velocity.push(Tensor::zeros(slot.value.shape().dims().to_vec()));
             }
             let v = &mut velocity[i];
-            assert_eq!(
-                v.shape(),
-                slot.value.shape(),
-                "optimizer state shape drift at param {i}"
-            );
+            assert_eq!(v.shape(), slot.value.shape(), "optimizer state shape drift at param {i}");
             let v_data = v.data_mut();
             let p_data = slot.value.data_mut();
             let g_data = slot.grad.data();
@@ -146,10 +137,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn net(rng: &mut StdRng) -> Network {
-        let layers: Vec<Box<dyn Layer>> = vec![
-            Box::new(Flatten::new()),
-            Box::new(Dense::new(4, 2, rng)),
-        ];
+        let layers: Vec<Box<dyn Layer>> =
+            vec![Box::new(Flatten::new()), Box::new(Dense::new(4, 2, rng))];
         Network::new(layers, "opt-test", 2)
     }
 

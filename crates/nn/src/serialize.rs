@@ -7,12 +7,20 @@
 //! ```text
 //! magic  b"PGMR"
 //! version u16
-//! arch_id len u16 + utf-8 bytes
-//! tensor count u32
-//! per tensor: rank u8, dims u32×rank, data f32×len
-//! buffer count u32
-//! per buffer: len u32, data f32×len      (batch-norm running statistics)
+//! body_len u32                           (bytes after the checksum field)
+//! checksum u64                           (FNV-1a over the body)
+//! body:
+//!   arch_id len u16 + utf-8 bytes
+//!   tensor count u32
+//!   per tensor: rank u8, dims u32×rank, data f32×len
+//!   buffer count u32
+//!   per buffer: len u32, data f32×len    (batch-norm running statistics)
 //! ```
+//!
+//! The checksum makes storage corruption loud: a single flipped bit
+//! anywhere in the body (e.g. in a cached weight) fails verification
+//! before any parameter is parsed, instead of silently loading a
+//! corrupted network.
 
 use crate::network::Network;
 use bytes::{Buf, BufMut, BytesMut};
@@ -21,7 +29,20 @@ use std::error::Error;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"PGMR";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
+
+/// FNV-1a 64-bit hash. Not cryptographic, but every single-byte change —
+/// in particular any single bit flip — provably changes the digest: each
+/// step is a bijection of the running state, so for a fixed suffix the
+/// final value is injective in every input byte.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Error decoding a parameter blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +60,9 @@ pub enum DecodeParamsError {
     },
     /// The blob ended before all declared data was read.
     Truncated,
+    /// The body checksum does not match — the blob was corrupted in
+    /// storage (e.g. a flipped bit in a cached weight).
+    ChecksumMismatch,
     /// Tensor shapes in the blob disagree with the target network.
     ShapeMismatch,
 }
@@ -52,6 +76,9 @@ impl fmt::Display for DecodeParamsError {
                 write!(f, "blob is for architecture {expected}, network is {found}")
             }
             DecodeParamsError::Truncated => write!(f, "blob truncated"),
+            DecodeParamsError::ChecksumMismatch => {
+                write!(f, "blob checksum mismatch (storage corruption)")
+            }
             DecodeParamsError::ShapeMismatch => write!(f, "tensor shape mismatch"),
         }
     }
@@ -65,32 +92,36 @@ impl Error for DecodeParamsError {}
 /// trainable.
 pub fn encode_params(net: &mut Network) -> Vec<u8> {
     let state = net.state_dict();
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    let mut body = BytesMut::new();
     let arch = net.arch_id().as_bytes();
-    buf.put_u16_le(arch.len() as u16);
-    buf.put_slice(arch);
-    buf.put_u32_le(state.len() as u32);
+    body.put_u16_le(arch.len() as u16);
+    body.put_slice(arch);
+    body.put_u32_le(state.len() as u32);
     for t in &state {
         let dims = t.shape().dims();
-        buf.put_u8(dims.len() as u8);
+        body.put_u8(dims.len() as u8);
         for &d in dims {
-            buf.put_u32_le(d as u32);
+            body.put_u32_le(d as u32);
         }
         for &v in t.data() {
-            buf.put_f32_le(v);
+            body.put_f32_le(v);
         }
     }
     let mut buffers: Vec<Vec<f32>> = Vec::new();
     net.visit_buffers(&mut |b| buffers.push(b.clone()));
-    buf.put_u32_le(buffers.len() as u32);
+    body.put_u32_le(buffers.len() as u32);
     for b in &buffers {
-        buf.put_u32_le(b.len() as u32);
+        body.put_u32_le(b.len() as u32);
         for &v in b {
-            buf.put_f32_le(v);
+            body.put_f32_le(v);
         }
     }
+    let mut buf = BytesMut::with_capacity(body.len() + 18);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(body.len() as u32);
+    buf.put_u64_le(fnv1a(&body));
+    buf.put_slice(&body);
     buf.to_vec()
 }
 
@@ -113,6 +144,17 @@ pub fn decode_params(net: &mut Network, blob: &[u8]) -> Result<(), DecodeParamsE
     let version = buf.get_u16_le();
     if version != VERSION {
         return Err(DecodeParamsError::BadVersion(version));
+    }
+    if buf.remaining() < 12 {
+        return Err(DecodeParamsError::Truncated);
+    }
+    let body_len = buf.get_u32_le() as usize;
+    let checksum = buf.get_u64_le();
+    if buf.remaining() < body_len {
+        return Err(DecodeParamsError::Truncated);
+    }
+    if fnv1a(&buf[..body_len]) != checksum {
+        return Err(DecodeParamsError::ChecksumMismatch);
     }
     if buf.remaining() < 2 {
         return Err(DecodeParamsError::Truncated);
@@ -278,6 +320,32 @@ mod tests {
         let spec = ArchSpec::convnet(1, 8, 8, 4);
         let mut net = build(&spec, 0);
         assert_eq!(decode_params(&mut net, b"nope"), Err(DecodeParamsError::BadMagic));
+    }
+
+    #[test]
+    fn single_bit_flips_anywhere_are_rejected() {
+        let spec = ArchSpec::convnet(1, 8, 8, 4);
+        let mut net = build(&spec, 1);
+        let blob = encode_params(&mut net);
+        let mut victim = build(&spec, 2);
+        let before = victim.state_dict();
+        // Header flips trip magic/version/length checks; body flips (the
+        // weight payload starts at byte 18) trip the FNV checksum.
+        for pos in [0usize, 5, 18, blob.len() / 2, blob.len() - 1] {
+            for bit in [0u8, 3, 7] {
+                let mut bad = blob.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(
+                    decode_params(&mut victim, &bad).is_err(),
+                    "bit {bit} of byte {pos} flipped silently"
+                );
+                assert_eq!(victim.state_dict(), before);
+            }
+        }
+        // Payload corruption specifically reports the checksum.
+        let mut bad = blob.clone();
+        bad[blob.len() - 2] ^= 0x10;
+        assert_eq!(decode_params(&mut victim, &bad), Err(DecodeParamsError::ChecksumMismatch));
     }
 
     #[test]

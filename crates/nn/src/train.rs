@@ -112,10 +112,7 @@ impl Trainer {
         }
 
         let final_train_accuracy = accuracy(net, images, labels);
-        TrainReport {
-            epoch_losses,
-            final_train_accuracy,
-        }
+        TrainReport { epoch_losses, final_train_accuracy }
     }
 }
 
@@ -163,19 +160,12 @@ where
         }
     })
     .expect("worker thread panicked");
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("job result missing"))
-        .collect()
+    results.into_inner().unwrap().into_iter().map(|r| r.expect("job result missing")).collect()
 }
 
 /// The host's available parallelism, defaulting to 1 when unknown.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Classification accuracy of `net` over a labeled set, evaluated in
@@ -232,12 +222,7 @@ mod tests {
         ];
         let mut net = Network::new(layers, "xor", 2);
         let (images, labels) = make_xor_like_dataset();
-        let cfg = TrainConfig {
-            epochs: 8,
-            batch_size: 8,
-            lr: 0.2,
-            ..TrainConfig::default()
-        };
+        let cfg = TrainConfig { epochs: 8, batch_size: 8, lr: 0.2, ..TrainConfig::default() };
         let report = Trainer::new(cfg).fit(&mut net, &images, &labels);
         assert_eq!(report.epoch_losses.len(), 8);
         assert!(report.final_train_accuracy > 0.95);
@@ -257,10 +242,7 @@ mod tests {
             Network::new(layers, "det", 2)
         };
         let (images, labels) = make_xor_like_dataset();
-        let cfg = TrainConfig {
-            epochs: 3,
-            ..TrainConfig::default()
-        };
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
         let mut a = build();
         let mut b = build();
         let ra = Trainer::new(cfg.clone()).fit(&mut a, &images, &labels);

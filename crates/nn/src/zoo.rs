@@ -267,13 +267,14 @@ impl Builder {
     /// conv-BN-ReLU), concatenated on channels. Preserves spatial size.
     fn inception(&mut self, c1: usize, c3: usize, c5: usize) -> &mut Self {
         let (c, h, w) = (self.c, self.h, self.w);
-        let branch = |out_c: usize, k: usize, pad: usize, rng: &mut StdRng| -> Vec<Box<dyn Layer>> {
-            vec![
-                Box::new(Conv2d::new(c, out_c, h, w, k, 1, pad, rng)),
-                Box::new(BatchNorm2d::new(out_c)),
-                Box::new(Relu::new()),
-            ]
-        };
+        let branch =
+            |out_c: usize, k: usize, pad: usize, rng: &mut StdRng| -> Vec<Box<dyn Layer>> {
+                vec![
+                    Box::new(Conv2d::new(c, out_c, h, w, k, 1, pad, rng)),
+                    Box::new(BatchNorm2d::new(out_c)),
+                    Box::new(Relu::new()),
+                ]
+            };
         let branches = vec![
             branch(c1, 1, 0, &mut self.rng),
             branch(c3, 3, 1, &mut self.rng),
@@ -288,7 +289,13 @@ impl Builder {
     /// parallel 3×3 paths of `group_width` channels (the "cardinality"
     /// dimension), concatenates, and merges with a 1×1 convolution; a
     /// projection covers channel/stride changes on the skip path.
-    fn resnext_block(&mut self, groups: usize, group_width: usize, out_c: usize, stride: usize) -> &mut Self {
+    fn resnext_block(
+        &mut self,
+        groups: usize,
+        group_width: usize,
+        out_c: usize,
+        stride: usize,
+    ) -> &mut Self {
         let (c, h, w) = (self.c, self.h, self.w);
         let mut paths = Vec::with_capacity(groups);
         let mut oh = h;
@@ -335,9 +342,7 @@ impl Builder {
         let mut convs: Vec<Box<dyn Layer>> = Vec::new();
         for i in 0..units {
             let in_c = self.c + i * growth;
-            convs.push(Box::new(Conv2d::new(
-                in_c, growth, self.h, self.w, 3, 1, 1, &mut self.rng,
-            )));
+            convs.push(Box::new(Conv2d::new(in_c, growth, self.h, self.w, 3, 1, 1, &mut self.rng)));
         }
         let block = DenseBlock::new(convs, self.c, growth);
         self.c = block.out_channels();

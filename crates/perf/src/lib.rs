@@ -150,10 +150,7 @@ impl CostModel {
     ///
     /// Panics if `precision_bits` is outside `10..=32`.
     pub fn network_cost(&self, profile: &[LayerCost], precision_bits: u32) -> InferenceCost {
-        assert!(
-            (10..=32).contains(&precision_bits),
-            "precision bits must be in 10..=32"
-        );
+        assert!((10..=32).contains(&precision_bits), "precision bits must be in 10..=32");
         let bytes_per_elem = precision_bits as f64 / 8.0;
         let mut total = InferenceCost::default();
         for layer in profile {
@@ -236,7 +233,7 @@ mod tests {
     fn sequential_latency_scales_with_networks() {
         let model = CostModel::new(GpuModel::titan_x_pascal());
         let one = model.network_cost(&convnet_profile(), 32);
-        let four = model.system_cost(&vec![one; 4], Schedule::Sequential);
+        let four = model.system_cost(&[one; 4], Schedule::Sequential);
         assert!((four.latency_s - 4.0 * one.latency_s).abs() < 1e-12);
         assert!((four.energy_j - 4.0 * one.energy_j).abs() < 1e-12);
     }
@@ -245,8 +242,8 @@ mod tests {
     fn two_gpus_halve_latency_but_not_energy() {
         let model = CostModel::new(GpuModel::titan_x_pascal());
         let one = model.network_cost(&convnet_profile(), 32);
-        let seq = model.system_cost(&vec![one; 4], Schedule::Sequential);
-        let par = model.system_cost(&vec![one; 4], Schedule::Parallel(2));
+        let seq = model.system_cost(&[one; 4], Schedule::Sequential);
+        let par = model.system_cost(&[one; 4], Schedule::Parallel(2));
         assert!((par.latency_s - seq.latency_s / 2.0).abs() < 1e-12);
         assert!((par.energy_j - seq.energy_j).abs() < 1e-12);
     }

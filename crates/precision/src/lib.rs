@@ -51,10 +51,7 @@ impl Precision {
     ///
     /// Panics unless `10 <= total_bits <= 32` (at least one mantissa bit).
     pub fn new(total_bits: u32) -> Self {
-        assert!(
-            (10..=32).contains(&total_bits),
-            "total bits must be in 10..=32, got {total_bits}"
-        );
+        assert!((10..=32).contains(&total_bits), "total bits must be in 10..=32, got {total_bits}");
         Precision { total_bits }
     }
 
@@ -149,11 +146,7 @@ impl QuantizedNetwork {
         let logits = self
             .net
             .forward_with_hook(batch, false, &|t: &mut Tensor| precision.quantize_tensor(t));
-        logits
-            .data()
-            .chunks(classes)
-            .map(pgmr_tensor::softmax)
-            .collect()
+        logits.data().chunks(classes).map(pgmr_tensor::softmax).collect()
     }
 
     /// Consumes the wrapper and returns the (quantized-weight) network.

@@ -156,8 +156,8 @@ fn adhist(image: &Tensor) -> Tensor {
     let (_, c, h, w) = image.shape().as_nchw();
     let mut out = image.clone();
     let plane = h * w;
-    let th = (h + 1) / 2;
-    let tw = (w + 1) / 2;
+    let th = h.div_ceil(2);
+    let tw = w.div_ceil(2);
     for ch in 0..c {
         for ty in 0..2 {
             for tx in 0..2 {
@@ -362,7 +362,8 @@ mod tests {
         let mut data = vec![0.0f32; 16 * 16];
         for y in 0..16 {
             for x in 0..16 {
-                data[y * 16 + x] = if x < 8 { 0.1 + 0.01 * y as f32 } else { 0.8 + 0.01 * y as f32 };
+                data[y * 16 + x] =
+                    if x < 8 { 0.1 + 0.01 * y as f32 } else { 0.8 + 0.01 * y as f32 };
             }
         }
         let img = Tensor::from_vec(vec![1, 1, 16, 16], data);

@@ -45,7 +45,14 @@ impl Conv2dGeometry {
     ///
     /// Panics if the kernel is larger than the padded input, or if stride is
     /// zero.
-    pub fn new(in_c: usize, in_h: usize, in_w: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+    pub fn new(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         assert!(stride > 0, "stride must be positive");
         assert!(
             in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
@@ -55,16 +62,7 @@ impl Conv2dGeometry {
         );
         let out_h = (in_h + 2 * pad - kernel) / stride + 1;
         let out_w = (in_w + 2 * pad - kernel) / stride + 1;
-        Conv2dGeometry {
-            in_c,
-            in_h,
-            in_w,
-            kernel,
-            stride,
-            pad,
-            out_h,
-            out_w,
-        }
+        Conv2dGeometry { in_c, in_h, in_w, kernel, stride, pad, out_h, out_w }
     }
 
     /// Rows of the im2col matrix: `in_c * kernel * kernel`.
@@ -87,11 +85,7 @@ impl Conv2dGeometry {
 pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Vec<f32> {
     let (n, c, h, w) = image.shape().as_nchw();
     assert_eq!(n, 1, "im2col operates on single images");
-    assert_eq!(
-        (c, h, w),
-        (geom.in_c, geom.in_h, geom.in_w),
-        "image shape disagrees with geometry"
-    );
+    assert_eq!((c, h, w), (geom.in_c, geom.in_h, geom.in_w), "image shape disagrees with geometry");
     let data = image.data();
     let cols = geom.out_spatial();
     let mut out = vec![0.0f32; geom.patch_len() * cols];
@@ -131,11 +125,7 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Vec<f32> {
 /// Panics if `cols.len()` disagrees with `geom`.
 pub fn col2im(cols: &[f32], geom: &Conv2dGeometry) -> Tensor {
     let n_cols = geom.out_spatial();
-    assert_eq!(
-        cols.len(),
-        geom.patch_len() * n_cols,
-        "column matrix length mismatch"
-    );
+    assert_eq!(cols.len(), geom.patch_len() * n_cols, "column matrix length mismatch");
     let (c, h, w) = (geom.in_c, geom.in_h, geom.in_w);
     let mut out = vec![0.0f32; c * h * w];
     let k = geom.kernel;

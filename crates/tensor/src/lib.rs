@@ -28,12 +28,14 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod checksum;
 pub mod conv;
 pub mod gemm;
 pub mod ops;
 pub mod shape;
 pub mod tensor;
 
+pub use checksum::{checked_gemm, ChecksumFault, ChecksumKind, GemmChecksums};
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use gemm::{gemm, gemm_bias};
 pub use ops::{argmax, log_softmax, relu, relu_backward, softmax, softmax_in_place};

@@ -32,10 +32,7 @@ impl Shape {
     /// Panics if any dimension is zero; zero-sized tensors are never
     /// meaningful in this codebase and almost always indicate a bug.
     pub fn new(dims: Vec<usize>) -> Self {
-        assert!(
-            dims.iter().all(|&d| d > 0),
-            "shape dimensions must be positive, got {dims:?}"
-        );
+        assert!(dims.iter().all(|&d| d > 0), "shape dimensions must be positive, got {dims:?}");
         Shape { dims }
     }
 

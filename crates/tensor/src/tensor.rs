@@ -31,10 +31,7 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Tensor {
-            shape,
-            data: vec![0.0; len],
-        }
+        Tensor { shape, data: vec![0.0; len] }
     }
 
     /// Creates a tensor filled with ones.
@@ -46,10 +43,7 @@ impl Tensor {
     pub fn filled(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Tensor {
-            shape,
-            data: vec![value; len],
-        }
+        Tensor { shape, data: vec![value; len] }
     }
 
     /// Creates a tensor from existing data.
@@ -152,10 +146,7 @@ impl Tensor {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(&self, dims: Vec<usize>) -> Tensor {
-        Tensor {
-            shape: self.shape.reshaped(dims),
-            data: self.data.clone(),
-        }
+        Tensor { shape: self.shape.reshaped(dims), data: self.data.clone() }
     }
 
     /// Elementwise sum of two tensors.
@@ -192,10 +183,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.
@@ -218,12 +206,7 @@ impl Tensor {
         );
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
@@ -297,11 +280,7 @@ impl Tensor {
         assert_eq!(n0, 1, "stack_images expects single-image tensors");
         let mut data = Vec::with_capacity(images.len() * c * h * w);
         for img in images {
-            assert_eq!(
-                img.shape.as_nchw(),
-                (1, c, h, w),
-                "inconsistent image shapes in stack"
-            );
+            assert_eq!(img.shape.as_nchw(), (1, c, h, w), "inconsistent image shapes in stack");
             data.extend_from_slice(&img.data);
         }
         Tensor::from_vec(vec![images.len(), c, h, w], data)

@@ -76,7 +76,11 @@ fn main() {
     println!();
     println!("processed {frames} frames");
     println!("  mean modeled latency : {:.2} ms", total_latency / frames as f64 * 1e3);
-    println!("  tail (max) latency   : {:.2} ms  (budget {:.0} ms)", worst_latency * 1e3, budget_s * 1e3);
+    println!(
+        "  tail (max) latency   : {:.2} ms  (budget {:.0} ms)",
+        worst_latency * 1e3,
+        budget_s * 1e3
+    );
     println!("  frames over budget   : {over_budget}");
     println!("  frames flagged unreliable: {flagged} (deferred to the safety fallback)");
     println!();

@@ -1,0 +1,75 @@
+//! Fault tolerance: inject persistent bit-flip faults into one ensemble
+//! member and watch the system quarantine it and keep answering.
+//!
+//! Run with `cargo run --release --example fault_tolerance`. Uses the
+//! tiny experiment scale so it finishes in seconds.
+
+use pgmr::core::stream::ReliabilityMonitor;
+use pgmr::core::suite::{Benchmark, Scale};
+use pgmr::core::{Ensemble, FaultEvent, FaultPolicy, PolygraphSystem, Thresholds, Verdict};
+use pgmr::datasets::Split;
+use pgmr::faults::{inject_weights, FaultSpec, EXPONENT_BITS};
+use pgmr::preprocess::Preprocessor;
+
+fn main() {
+    // 1. Train a 3-member PolygraphMR on the digit benchmark.
+    println!("training a 3-network PolygraphMR (tiny scale)...");
+    let bench = Benchmark::lenet5_digits(Scale::Tiny);
+    let members = vec![
+        bench.member(Preprocessor::Identity, 1),
+        bench.member(Preprocessor::FlipX, 2),
+        bench.member(Preprocessor::Gamma(2.0), 3),
+    ];
+    let mut system = PolygraphSystem::new(Ensemble::new(members), Thresholds::new(0.4, 2));
+    system.set_fault_policy(Some(FaultPolicy::default()));
+
+    let test = bench.data(Split::Test).truncated(120);
+    let stats = |system: &mut PolygraphSystem| {
+        let (mut correct, mut wrong, mut flagged) = (0, 0, 0);
+        for (image, &label) in test.images().iter().zip(test.labels()) {
+            match system.infer(image) {
+                Verdict::Reliable { class, .. } if class == label => correct += 1,
+                Verdict::Reliable { .. } => wrong += 1,
+                Verdict::Unreliable { .. } => flagged += 1,
+            }
+        }
+        (correct, wrong, flagged)
+    };
+
+    let (c0, w0, f0) = stats(&mut system);
+    println!("fault-free     : {c0} reliable-correct, {w0} reliable-WRONG, {f0} flagged");
+
+    // 2. Corrupt member 1's stored weights — a persistent fault, as from a
+    //    stuck DRAM bit. Weight faults keep ABFT checksums consistent, so
+    //    only cross-member disagreement can expose them.
+    let spec = FaultSpec::persistent_weights(42, 5e-3).with_bits(EXPONENT_BITS);
+    let hits = inject_weights(system.ensemble_mut().members_mut()[1].network_mut(), &spec);
+    println!("\ninjected {} persistent exponent-bit flips into member 1", hits.len());
+
+    // 3. Stream inference through the monitor: the corrupted member keeps
+    //    dissenting alone against the unanimous peers until the policy
+    //    quarantines it; the monitor latches Degraded until the stream
+    //    recovers.
+    let mut monitor = ReliabilityMonitor::new(32, 0.5);
+    for image in test.images() {
+        let _ = system.infer_monitored(image, &mut monitor);
+    }
+    for event in system.drain_fault_events() {
+        if let FaultEvent::Quarantined { member, reason } = event {
+            println!("quarantined member {member}: {reason:?}");
+        }
+    }
+    println!("quarantined set: {:?}", system.quarantined());
+    println!("stream health  : {:?}", monitor.health());
+
+    // 4. The surviving 2-member system keeps its coverage: Thr_Freq is
+    //    re-derived for the smaller ensemble instead of demanding the
+    //    original vote count.
+    let (c1, w1, f1) = stats(&mut system);
+    println!("\nafter quarantine: {c1} reliable-correct, {w1} reliable-WRONG, {f1} flagged");
+    println!(
+        "reliable-correct retention: {:.1}% -> {:.1}%",
+        100.0 * c0 as f64 / test.len() as f64,
+        100.0 * c1 as f64 / test.len() as f64,
+    );
+}

@@ -16,10 +16,7 @@ fn main() {
     let bench = Benchmark::resnet20_objects(Scale::Tiny);
     println!("building a 4-network PolygraphMR on {} ...", bench.id);
     let built = SystemBuilder::new(&bench).max_networks(4).build(9);
-    println!(
-        "validation Pareto frontier has {} operating points",
-        built.frontier.len()
-    );
+    println!("validation Pareto frontier has {} operating points", built.frontier.len());
     println!("{:>10} {:>10} {:>10} {:>6}", "val TP%", "val FP%", "Thr_Conf", "Freq");
     for p in &built.frontier {
         println!(

@@ -16,13 +16,7 @@ fn main() {
     println!("building a 4-network PolygraphMR on {} ...", bench.id);
     let built = SystemBuilder::new(&bench).max_networks(4).build(5);
     let baseline = bench.member(Preprocessor::Identity, 5);
-    let members: Vec<_> = built
-        .system
-        .ensemble()
-        .members()
-        .iter()
-        .map(|m| (*m).clone())
-        .collect();
+    let members: Vec<_> = built.system.ensemble().members().iter().map(|m| (*m).clone()).collect();
 
     let test = bench.data(Split::Test);
     let bits = [32u32, 20, 17, 16, 15, 14, 13, 12, 11, 10];

@@ -21,12 +21,7 @@ fn main() {
     let built = SystemBuilder::new(&bench).max_networks(4).build(7);
     println!(
         "selected configuration: {}",
-        built
-            .configuration
-            .iter()
-            .map(|p| p.name())
-            .collect::<Vec<_>>()
-            .join(", ")
+        built.configuration.iter().map(|p| p.name()).collect::<Vec<_>>().join(", ")
     );
     println!(
         "operating point: Thr_Conf={:.2} Thr_Freq={} (val TP {:.1}%, val FP {:.1}%)",

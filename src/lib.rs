@@ -9,6 +9,7 @@
 //! * [`datasets`] — the synthetic dataset generators,
 //! * [`preprocess`] — the Layer-1 preprocessor pool,
 //! * [`precision`] — reduced-precision inference (RAMR substrate),
+//! * [`faults`] — seeded bit-flip injection and ABFT fault campaigns,
 //! * [`perf`] — the analytical GPU cost model,
 //! * [`metrics`] — reliability metrics and Pareto tools,
 //! * [`calibration`] — temperature scaling.
@@ -31,6 +32,7 @@
 
 pub use pgmr_calibration as calibration;
 pub use pgmr_datasets as datasets;
+pub use pgmr_faults as faults;
 pub use pgmr_metrics as metrics;
 pub use pgmr_nn as nn;
 pub use pgmr_perf as perf;

@@ -14,9 +14,11 @@ use pgmr::preprocess::Preprocessor;
 
 fn isolated_cache() {
     // Share one cache dir across tests in this binary; keyed by pid so
-    // parallel workspaces don't collide.
+    // parallel workspaces don't collide. Uses the thread-safe override —
+    // std::env::set_var races with concurrent env reads under the
+    // multi-threaded test runner.
     let dir = std::env::temp_dir().join(format!("pgmr-it-cache-{}", std::process::id()));
-    std::env::set_var("PGMR_CACHE_DIR", dir);
+    pgmr::core::suite::set_cache_dir(Some(dir));
 }
 
 #[test]
@@ -24,11 +26,7 @@ fn full_pipeline_builds_profiles_and_infers() {
     isolated_cache();
     let bench = Benchmark::lenet5_digits(Scale::Tiny);
     let built = SystemBuilder::new(&bench)
-        .candidates(vec![
-            Preprocessor::FlipX,
-            Preprocessor::FlipY,
-            Preprocessor::Gamma(2.0),
-        ])
+        .candidates(vec![Preprocessor::FlipX, Preprocessor::FlipY, Preprocessor::Gamma(2.0)])
         .max_networks(3)
         .build(21);
 
@@ -75,11 +73,7 @@ fn pgmr_beats_single_network_on_undetected_errors() {
     let (summary, _) = system.evaluate(&test);
     // The PGMR system must expose fewer undetected mispredictions than the
     // baseline's raw error rate (it can flag inputs; the baseline cannot).
-    assert!(
-        summary.fp <= org_fp + 1e-9,
-        "pgmr fp {} vs org fp {org_fp}",
-        summary.fp
-    );
+    assert!(summary.fp <= org_fp + 1e-9, "pgmr fp {} vs org fp {org_fp}", summary.fp);
 }
 
 #[test]
@@ -163,7 +157,7 @@ fn rade_saves_activations_without_changing_most_verdicts() {
 fn profiled_operating_points_transfer_from_val_to_test() {
     isolated_cache();
     let bench = Benchmark::lenet5_digits(Scale::Tiny);
-    let mut members = vec![
+    let mut members = [
         bench.member(Preprocessor::Identity, 31),
         bench.member(Preprocessor::FlipX, 32),
         bench.member(Preprocessor::Gamma(2.0), 33),
@@ -193,10 +187,8 @@ fn decision_engine_and_rade_agree_when_everything_activates() {
     // unanimity required, RADE must activate everyone and match exactly.
     isolated_cache();
     let bench = Benchmark::lenet5_digits(Scale::Tiny);
-    let mut members = vec![
-        bench.member(Preprocessor::Identity, 41),
-        bench.member(Preprocessor::FlipY, 42),
-    ];
+    let mut members =
+        [bench.member(Preprocessor::Identity, 41), bench.member(Preprocessor::FlipY, 42)];
     let test = bench.data(Split::Test).truncated(80);
     let probs: Vec<Vec<Vec<f32>>> =
         members.iter_mut().map(|m| m.predict_all(test.images())).collect();
@@ -215,7 +207,10 @@ fn decision_engine_and_rade_agree_when_everything_activates() {
             // making Thr_Freq = 2 unreachable). In the latter case the full
             // engine must agree the answer is unreliable.
             if !s.verdict.is_reliable() {
-                assert!(!f.is_reliable(), "sample {i}: RADE early-unreliable but full engine reliable");
+                assert!(
+                    !f.is_reliable(),
+                    "sample {i}: RADE early-unreliable but full engine reliable"
+                );
             }
         }
     }

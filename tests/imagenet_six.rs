@@ -10,7 +10,7 @@ use pgmr::preprocess::Preprocessor;
 #[test]
 fn every_fig1_network_learns_above_chance() {
     let dir = std::env::temp_dir().join(format!("pgmr-i6-cache-{}", std::process::id()));
-    std::env::set_var("PGMR_CACHE_DIR", &dir);
+    pgmr::core::suite::set_cache_dir(Some(dir.clone()));
     let six = Benchmark::imagenet_six(Scale::Tiny);
     assert_eq!(six.len(), 6);
     let chance = 1.0 / six[0].dataset.classes as f64;
@@ -33,6 +33,6 @@ fn every_fig1_network_learns_above_chance() {
         above_chance >= 4,
         "only {above_chance}/6 Fig.1 networks learned above chance at tiny scale"
     );
-    std::env::remove_var("PGMR_CACHE_DIR");
+    pgmr::core::suite::set_cache_dir(None);
     let _ = std::fs::remove_dir_all(dir);
 }
