@@ -1,0 +1,104 @@
+//! Worker-pool throughput — batched evaluation and fault campaigns,
+//! sequential vs pooled.
+//!
+//! Not a paper exhibit: this harness measures the items/s of the shared
+//! worker pool on the two batch-shaped hot paths it powers — sharded
+//! system evaluation ([`polygraph_mr::system::PolygraphSystem::evaluate_batch`])
+//! and trial-sharded fault campaigns
+//! ([`pgmr_faults::run_activation_campaign_with`]) — at pool widths 1
+//! (sequential), 2, 4, and 8. Every pooled run is verified bit-identical
+//! to the sequential baseline before its timing is reported.
+//!
+//! Besides the printed table, the harness writes `BENCH_throughput.json`
+//! to the working directory so CI can archive the numbers. Speedups scale
+//! with the host's cores; on a single-core container every width times
+//! out at ~1× and the JSON records `nproc` so readers can tell.
+
+use std::time::Instant;
+
+use pgmr_bench::{banner, scale};
+use pgmr_datasets::Split;
+use pgmr_faults::{run_activation_campaign, run_activation_campaign_with, CampaignConfig};
+use pgmr_nn::WorkerPool;
+use pgmr_preprocess::Preprocessor;
+use polygraph_mr::decision::Thresholds;
+use polygraph_mr::ensemble::Ensemble;
+use polygraph_mr::suite::Benchmark;
+use polygraph_mr::system::PolygraphSystem;
+
+const POOL_WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// Times `f`, returning (result, items/s) for `items` units of work.
+fn time<T>(items: usize, f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (out, items as f64 / secs)
+}
+
+fn main() {
+    banner("Throughput", "worker-pool items/s on batch evaluation and fault campaigns");
+    let bench = Benchmark::lenet5_digits(scale());
+    let members = vec![
+        bench.member(Preprocessor::Identity, 1),
+        bench.member(Preprocessor::FlipX, 2),
+        bench.member(Preprocessor::Gamma(2.0), 3),
+    ];
+    let mut system = PolygraphSystem::new(Ensemble::new(members), Thresholds::new(0.4, 2));
+    let data = bench.data(Split::Test);
+    let nproc = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host cores: {nproc}   batch: {} samples   campaign: 200 trials", data.len());
+    println!();
+
+    // Batch evaluation: sequential baseline, then each pool width,
+    // verified bit-identical before its throughput is reported.
+    let (baseline, seq_eval_rate) = time(data.len(), || system.evaluate(&data));
+    let mut eval_rates = Vec::new();
+    for width in POOL_WIDTHS {
+        let pool = WorkerPool::new(width);
+        let (pooled, rate) = time(data.len(), || system.evaluate_batch(&data, &pool));
+        assert_eq!(pooled, baseline, "pooled evaluation diverged at width {width}");
+        eval_rates.push((width, rate));
+    }
+
+    // Activation-fault campaign over the baseline member's network.
+    let inputs: Vec<_> = data.images().iter().take(16).cloned().collect();
+    let cfg = CampaignConfig { trials: 200, seed: 2020, rate: 1e-3, ..CampaignConfig::default() };
+    let net = system.ensemble_mut().members_mut()[0].network_mut();
+    let (seq_report, seq_camp_rate) =
+        time(cfg.trials, || run_activation_campaign(net, &inputs, &cfg));
+    let mut camp_rates = Vec::new();
+    for width in POOL_WIDTHS {
+        let pool = WorkerPool::new(width);
+        let (report, rate) =
+            time(cfg.trials, || run_activation_campaign_with(net, &inputs, &cfg, &pool));
+        assert_eq!(report, seq_report, "pooled campaign diverged at width {width}");
+        camp_rates.push((width, rate));
+    }
+
+    println!("{:>22} {:>14} {:>10}", "workload / width", "items/s", "speedup");
+    println!("{:>22} {:>14.1} {:>10.2}", "eval seq", seq_eval_rate, 1.0);
+    for &(width, rate) in &eval_rates {
+        println!("{:>20}x{width} {rate:>14.1} {:>10.2}", "eval", rate / seq_eval_rate);
+    }
+    println!("{:>22} {:>14.1} {:>10.2}", "campaign seq", seq_camp_rate, 1.0);
+    for &(width, rate) in &camp_rates {
+        println!("{:>20}x{width} {rate:>14.1} {:>10.2}", "campaign", rate / seq_camp_rate);
+    }
+
+    // Hand-rolled JSON artifact (the workspace has no JSON dependency).
+    let workers = |rates: &[(usize, f64)]| -> String {
+        let fields: Vec<String> = rates.iter().map(|(w, r)| format!("\"{w}\": {r:.3}")).collect();
+        format!("{{{}}}", fields.join(", "))
+    };
+    let json = format!(
+        "{{\n  \"nproc\": {nproc},\n  \"batch_eval\": {{\"items\": {}, \"sequential_items_per_s\": {seq_eval_rate:.3}, \"workers_items_per_s\": {}}},\n  \"fault_campaign\": {{\"trials\": {}, \"sequential_items_per_s\": {seq_camp_rate:.3}, \"workers_items_per_s\": {}}}\n}}\n",
+        data.len(),
+        workers(&eval_rates),
+        cfg.trials,
+        workers(&camp_rates),
+    );
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!();
+    println!("wrote BENCH_throughput.json (all pooled results verified bit-identical)");
+}

@@ -104,8 +104,9 @@ impl<'a> SystemBuilder<'a> {
 
         let mut members: Vec<Member> = vec![baseline];
         let mut probs: Vec<Vec<Vec<f32>>> = vec![baseline_probs];
-        // Candidate members are independent: train them on worker threads
-        // (sequentially and deterministically on a single-core host).
+        // Candidate members are independent: train them on the shared
+        // worker pool (sequentially and deterministically on a
+        // single-core host).
         let bench = self.bench;
         let val_ref = &val;
         let jobs: Vec<_> = self
@@ -121,7 +122,7 @@ impl<'a> SystemBuilder<'a> {
             })
             .collect();
         let mut pool: Vec<(Preprocessor, Member, Vec<Vec<f32>>)> =
-            pgmr_nn::train::run_parallel(jobs, pgmr_nn::train::available_threads());
+            pgmr_nn::pool::global().run(jobs);
 
         let demand = Demand::TpAtLeast(baseline_accuracy);
         let mut trace = Vec::new();

@@ -2,13 +2,14 @@
 //! optional staged (RADE) inference mode.
 
 use crate::decision::{DecisionEngine, Thresholds, Verdict};
-use crate::ensemble::Ensemble;
+use crate::ensemble::{Ensemble, Member};
 use crate::rade::{StagedDecision, StagedEngine};
 use crate::stream::ReliabilityMonitor;
 use pgmr_datasets::Dataset;
 use pgmr_metrics::RateSummary;
+use pgmr_nn::pool::{shard_ranges, WorkerPool};
 use pgmr_tensor::argmax;
-use pgmr_tensor::checksum::DEFAULT_TOLERANCE;
+use pgmr_tensor::checksum::{ChecksumFault, DEFAULT_TOLERANCE};
 use pgmr_tensor::Tensor;
 
 /// Policy for ABFT-guarded inference with graceful degradation (§ fault
@@ -228,43 +229,76 @@ impl PolygraphSystem {
     /// `solo_after` consecutive solo disagreements, are quarantined and
     /// the vote threshold re-derived over the surviving ensemble.
     fn infer_fault_tolerant(&mut self, image: &Tensor) -> StagedDecision {
+        self.infer_fault_tolerant_with(image, None)
+    }
+
+    /// [`PolygraphSystem::infer_fault_tolerant`] with an optional worker
+    /// pool. The guarded forward passes (including their retry loops) are
+    /// independent per member — each owns its network and any attached
+    /// injector — so batch mode runs them concurrently; the outcomes are
+    /// then folded in member order, which reproduces the sequential event
+    /// stream and decision exactly.
+    fn infer_fault_tolerant_with(
+        &mut self,
+        image: &Tensor,
+        pool: Option<&WorkerPool>,
+    ) -> StagedDecision {
         let policy = *self.fault_policy.as_ref().expect("fault policy set");
         self.sync_fault_state();
         let tol = policy.tolerance;
+        let retries = policy.retries;
 
+        // Stage 1: guarded forward passes of the active members.
+        type MemberOutcome = (usize, Result<Vec<f32>, ChecksumFault>, usize);
+        let outcomes: Vec<MemberOutcome> = {
+            let active = self.active.clone();
+            let jobs: Vec<_> = self
+                .ensemble
+                .members_mut()
+                .iter_mut()
+                .enumerate()
+                .filter(|(m, _)| active[*m])
+                .map(|(m, member)| {
+                    move || {
+                        let mut result = member.predict_checked(image, tol);
+                        let mut retried = 0;
+                        while result.is_err() && retried < retries {
+                            retried += 1;
+                            result = member.predict_checked(image, tol);
+                        }
+                        (m, result, retried)
+                    }
+                })
+                .collect();
+            match pool {
+                Some(pool) => pool.run(jobs),
+                None => jobs.into_iter().map(|mut job| job()).collect(),
+            }
+        };
+
+        // Stage 2: fold outcomes in member order — retry/strike/quarantine
+        // bookkeeping is identical to running the members one by one.
         let mut probs: Vec<Vec<f32>> = Vec::new();
         let mut voters: Vec<usize> = Vec::new();
-        {
-            let members = self.ensemble.members_mut();
-            for (m, member) in members.iter_mut().enumerate() {
-                if !self.active[m] {
-                    continue;
+        for (m, result, retried) in outcomes {
+            for _ in 0..retried {
+                self.events.push(FaultEvent::ChecksumRetry { member: m });
+            }
+            match result {
+                Ok(p) => {
+                    probs.push(p);
+                    voters.push(m);
                 }
-                let mut result = member.predict_checked(image, tol);
-                let mut retried = 0;
-                while result.is_err() && retried < policy.retries {
-                    self.events.push(FaultEvent::ChecksumRetry { member: m });
-                    retried += 1;
-                    result = member.predict_checked(image, tol);
-                }
-                match result {
-                    Ok(p) => {
-                        probs.push(p);
-                        voters.push(m);
-                    }
-                    Err(_) => {
-                        self.strikes[m] += 1;
-                        self.events.push(FaultEvent::ChecksumStrike {
+                Err(_) => {
+                    self.strikes[m] += 1;
+                    self.events
+                        .push(FaultEvent::ChecksumStrike { member: m, strikes: self.strikes[m] });
+                    if self.strikes[m] >= policy.quarantine_after {
+                        self.active[m] = false;
+                        self.events.push(FaultEvent::Quarantined {
                             member: m,
-                            strikes: self.strikes[m],
+                            reason: QuarantineReason::RepeatedChecksumFaults,
                         });
-                        if self.strikes[m] >= policy.quarantine_after {
-                            self.active[m] = false;
-                            self.events.push(FaultEvent::Quarantined {
-                                member: m,
-                                reason: QuarantineReason::RepeatedChecksumFaults,
-                            });
-                        }
                     }
                 }
             }
@@ -331,20 +365,99 @@ impl PolygraphSystem {
         if self.fault_policy.is_some() {
             return self.infer_fault_tolerant(image);
         }
-        match &self.staged {
+        Self::decide_unguarded(
+            self.ensemble.members_mut(),
+            self.staged.as_ref(),
+            self.thresholds,
+            image,
+        )
+    }
+
+    /// One un-guarded (plain or RADE) decision over an explicit member
+    /// slice — the shared core of [`PolygraphSystem::infer_counted`] and
+    /// batch mode, whose shards run it on cloned members.
+    fn decide_unguarded(
+        members: &mut [Member],
+        staged: Option<&StagedEngine>,
+        thresholds: Thresholds,
+        image: &Tensor,
+    ) -> StagedDecision {
+        match staged {
             Some(staged) => {
-                let members = self.ensemble.members_mut();
                 let n = members.len();
                 // Split borrow: the closure indexes members directly.
                 let mut predict = |m: usize| members[m].predict(image);
                 staged.decide_with(&mut predict, n)
             }
             None => {
-                let probs = self.ensemble.predict(image);
-                let verdict = DecisionEngine::new(self.thresholds).decide(&probs);
-                StagedDecision { verdict, activated: self.ensemble.len() }
+                let probs: Vec<Vec<f32>> = members.iter_mut().map(|m| m.predict(image)).collect();
+                let verdict = DecisionEngine::new(thresholds).decide(&probs);
+                StagedDecision { verdict, activated: members.len() }
             }
         }
+    }
+
+    /// Batch-mode inference over `pool`: classifies every image with
+    /// decision semantics preserved exactly — decisions and fault events
+    /// are bit-identical to calling [`PolygraphSystem::infer_counted`] on
+    /// each image in order.
+    ///
+    /// With a fault policy set, inputs stay sequential (strikes and
+    /// quarantine evolve from input to input) but each input's guarded
+    /// member passes run concurrently. Otherwise the input set is sharded
+    /// across the pool on cloned members — forward passes are
+    /// deterministic, so the shards compose bit-identically. Members with
+    /// an attached fault injector force the sequential path: their
+    /// injector's RNG stream advances across inputs and sharding would
+    /// reorder it.
+    pub fn infer_batch(&mut self, images: &[Tensor], pool: &WorkerPool) -> Vec<StagedDecision> {
+        if self.fault_policy.is_some() {
+            return images
+                .iter()
+                .map(|img| self.infer_fault_tolerant_with(img, Some(pool)))
+                .collect();
+        }
+        let injected = self.ensemble.members().iter().any(|m| m.fault_injector().is_some());
+        if pool.threads() == 1 || images.len() < 2 || injected {
+            return images.iter().map(|img| self.infer_counted(img)).collect();
+        }
+        let staged = &self.staged;
+        let thresholds = self.thresholds;
+        let jobs: Vec<_> = shard_ranges(images.len(), pool.threads())
+            .into_iter()
+            .map(|range| {
+                let mut members: Vec<Member> = self.ensemble.members().to_vec();
+                move || {
+                    images[range]
+                        .iter()
+                        .map(|img| {
+                            Self::decide_unguarded(&mut members, staged.as_ref(), thresholds, img)
+                        })
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        pool.run(jobs).into_iter().flatten().collect()
+    }
+
+    /// Batch-mode [`PolygraphSystem::evaluate`]: the identical summary and
+    /// activation counts, with inference parallelized over `pool`.
+    pub fn evaluate_batch(
+        &mut self,
+        data: &Dataset,
+        pool: &WorkerPool,
+    ) -> (RateSummary, Vec<usize>) {
+        let decisions = self.infer_batch(data.images(), pool);
+        let mut outcomes = Vec::with_capacity(data.len());
+        let mut activations = Vec::with_capacity(data.len());
+        for (d, &label) in decisions.iter().zip(data.labels()) {
+            outcomes.push(pgmr_metrics::Outcome::from_flags(
+                d.verdict.class() == Some(label),
+                d.verdict.is_reliable(),
+            ));
+            activations.push(d.activated);
+        }
+        (pgmr_metrics::summarize(&outcomes), activations)
     }
 
     /// Evaluates the system over a dataset, returning the reliability rate
@@ -515,6 +628,64 @@ mod tests {
         let acc_gap = (clean.tp - degraded.tp).abs();
         assert!(cov_gap <= 0.02, "coverage gap {cov_gap:.4} exceeds 2 pp");
         assert!(acc_gap <= 0.02, "reliable-accuracy gap {acc_gap:.4} exceeds 2 pp");
+    }
+
+    #[test]
+    fn batch_evaluation_is_bit_identical_to_sequential() {
+        let (mut system, test) = build_system();
+        let data = test.truncated(40);
+        let pool = WorkerPool::new(4);
+
+        let sequential = system.evaluate(&data);
+        let batched = system.evaluate_batch(&data, &pool);
+        assert_eq!(sequential, batched, "plain batch evaluation diverged");
+
+        system.enable_staged(vec![0, 1, 2]);
+        let sequential = system.evaluate(&data);
+        let batched = system.evaluate_batch(&data, &pool);
+        assert_eq!(sequential, batched, "staged batch evaluation diverged");
+
+        system.disable_staged();
+        system.set_fault_policy(Some(FaultPolicy::default()));
+        let sequential = system.evaluate(&data);
+        system.drain_fault_events();
+        let batched = system.evaluate_batch(&data, &pool);
+        assert!(system.drain_fault_events().is_empty());
+        assert_eq!(sequential, batched, "guarded batch evaluation diverged");
+    }
+
+    #[test]
+    fn batch_fault_path_matches_sequential_events_and_quarantine() {
+        use pgmr_faults::{ActivationInjector, FaultSpec, SiteFilter, EXPONENT_BITS};
+        // Two identically-built systems, both with member 1 suffering the
+        // same seeded barrage of guarded-output exponent flips; one runs
+        // sequentially, the other in batch mode on a 4-wide pool. Every
+        // observable — verdict summary, activations, event stream,
+        // quarantine set — must be bit-identical.
+        let configure = |system: &mut PolygraphSystem| {
+            let guarded = pgmr_faults::guarded_sites(system.ensemble().members()[1].network());
+            let spec = FaultSpec::transient_activations(13, 0.05)
+                .with_bits(EXPONENT_BITS)
+                .with_sites(SiteFilter::Only(guarded));
+            system.ensemble_mut().members_mut()[1]
+                .set_fault_injector(Some(ActivationInjector::new(&spec)));
+            system.set_fault_policy(Some(FaultPolicy {
+                quarantine_after: 3,
+                ..FaultPolicy::default()
+            }));
+        };
+        let (mut seq_system, test) = build_system();
+        let (mut batch_system, _) = build_system();
+        configure(&mut seq_system);
+        configure(&mut batch_system);
+        let data = test.truncated(12);
+
+        let sequential = seq_system.evaluate(&data);
+        let pool = WorkerPool::new(4);
+        let batched = batch_system.evaluate_batch(&data, &pool);
+        assert_eq!(sequential, batched, "fault-path batch evaluation diverged");
+        assert_eq!(seq_system.drain_fault_events(), batch_system.drain_fault_events());
+        assert_eq!(seq_system.quarantined(), batch_system.quarantined());
     }
 
     #[test]

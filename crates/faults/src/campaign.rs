@@ -4,6 +4,7 @@
 
 use std::ops::RangeInclusive;
 
+use pgmr_nn::pool::{shard_ranges, WorkerPool};
 use pgmr_nn::Network;
 use pgmr_tensor::{argmax, Tensor};
 
@@ -108,6 +109,107 @@ fn classify(predicted: usize, golden: usize) -> TrialOutcome {
     }
 }
 
+/// One transient activation-fault trial: outcome plus flips injected.
+/// Trial `t` is a pure function of `(net, inputs, cfg, t)` — its injector
+/// is seeded from [`trial_seed`] alone — which is what lets campaigns
+/// shard across a worker pool without changing their results.
+fn activation_trial(
+    net: &mut Network,
+    inputs: &[Tensor],
+    cfg: &CampaignConfig,
+    golden: &[usize],
+    t: usize,
+) -> (TrialOutcome, usize) {
+    let input = &inputs[t % inputs.len()];
+    let spec = FaultSpec::transient_activations(trial_seed(cfg.seed, t), cfg.rate)
+        .with_bits(cfg.bits.clone())
+        .with_sites(cfg.sites.clone());
+    let inj = ActivationInjector::new(&spec);
+    inj.begin_forward();
+    let hook = |x: &mut Tensor| inj.apply(x);
+    let outcome = if cfg.checksums {
+        match net.forward_checked(input, false, Some(&hook), cfg.tolerance) {
+            Err(_) => TrialOutcome::Detected,
+            Ok(logits) => classify(argmax(logits.data()), golden[t % inputs.len()]),
+        }
+    } else {
+        let logits = net.forward_with_hook(input, false, &hook);
+        classify(argmax(logits.data()), golden[t % inputs.len()])
+    };
+    (outcome, inj.injected())
+}
+
+/// One persistent weight-fault trial: inject, evaluate, repair.
+fn weight_trial(
+    net: &mut Network,
+    inputs: &[Tensor],
+    cfg: &CampaignConfig,
+    golden: &[usize],
+    t: usize,
+) -> (TrialOutcome, usize) {
+    let input = &inputs[t % inputs.len()];
+    let spec = FaultSpec::persistent_weights(trial_seed(cfg.seed, t), cfg.rate)
+        .with_bits(cfg.bits.clone())
+        .with_sites(cfg.sites.clone());
+    let records = inject_weights(net, &spec);
+    let outcome = if cfg.checksums {
+        match net.forward_checked(input, false, None, cfg.tolerance) {
+            Err(_) => TrialOutcome::Detected,
+            Ok(logits) => classify(argmax(logits.data()), golden[t % inputs.len()]),
+        }
+    } else {
+        let logits = net.forward(input, false);
+        classify(argmax(logits.data()), golden[t % inputs.len()])
+    };
+    let injected = records.len();
+    repair_weights(net, &records);
+    (outcome, injected)
+}
+
+/// Folds per-trial results into a report, in any order — the counters
+/// commute, so sharded campaigns sum to exactly the sequential report.
+fn tally(
+    trials: usize,
+    outcomes: impl IntoIterator<Item = (TrialOutcome, usize)>,
+) -> CampaignReport {
+    let mut report = CampaignReport { trials, masked: 0, sdc: 0, detected: 0, injected: 0 };
+    for (outcome, injected) in outcomes {
+        report.injected += injected;
+        match outcome {
+            TrialOutcome::Masked => report.masked += 1,
+            TrialOutcome::Sdc => report.sdc += 1,
+            TrialOutcome::Detected => report.detected += 1,
+        }
+    }
+    report
+}
+
+/// One trial of a campaign: `(net, inputs, cfg, golden, t) → (outcome,
+/// flips injected)`.
+type TrialFn =
+    fn(&mut Network, &[Tensor], &CampaignConfig, &[usize], usize) -> (TrialOutcome, usize);
+
+/// Runs a campaign with per-shard network clones on `pool`. Each trial is
+/// independently seeded, so the merged report is identical to the
+/// sequential loop.
+fn run_campaign_sharded(
+    net: &Network,
+    inputs: &[Tensor],
+    cfg: &CampaignConfig,
+    golden: &[usize],
+    pool: &WorkerPool,
+    trial: TrialFn,
+) -> CampaignReport {
+    let jobs: Vec<_> = shard_ranges(cfg.trials, pool.threads())
+        .into_iter()
+        .map(|range| {
+            let mut net = net.clone();
+            move || range.map(|t| trial(&mut net, inputs, cfg, golden, t)).collect::<Vec<_>>()
+        })
+        .collect();
+    tally(cfg.trials, pool.run(jobs).into_iter().flatten())
+}
+
 /// Runs `cfg.trials` transient activation-fault trials against `net`,
 /// cycling through `inputs`. Each trial compares the faulty prediction to
 /// the fault-free prediction on the same input; with checksums on, a
@@ -123,34 +225,28 @@ pub fn run_activation_campaign(
 ) -> CampaignReport {
     assert!(!inputs.is_empty(), "campaign needs at least one input");
     let golden: Vec<usize> = inputs.iter().map(|x| argmax(net.forward(x, false).data())).collect();
+    tally(cfg.trials, (0..cfg.trials).map(|t| activation_trial(net, inputs, cfg, &golden, t)))
+}
 
-    let mut report =
-        CampaignReport { trials: cfg.trials, masked: 0, sdc: 0, detected: 0, injected: 0 };
-    for t in 0..cfg.trials {
-        let input = &inputs[t % inputs.len()];
-        let spec = FaultSpec::transient_activations(trial_seed(cfg.seed, t), cfg.rate)
-            .with_bits(cfg.bits.clone())
-            .with_sites(cfg.sites.clone());
-        let inj = ActivationInjector::new(&spec);
-        inj.begin_forward();
-        let hook = |x: &mut Tensor| inj.apply(x);
-        let outcome = if cfg.checksums {
-            match net.forward_checked(input, false, Some(&hook), cfg.tolerance) {
-                Err(_) => TrialOutcome::Detected,
-                Ok(logits) => classify(argmax(logits.data()), golden[t % inputs.len()]),
-            }
-        } else {
-            let logits = net.forward_with_hook(input, false, &hook);
-            classify(argmax(logits.data()), golden[t % inputs.len()])
-        };
-        report.injected += inj.injected();
-        match outcome {
-            TrialOutcome::Masked => report.masked += 1,
-            TrialOutcome::Sdc => report.sdc += 1,
-            TrialOutcome::Detected => report.detected += 1,
-        }
+/// [`run_activation_campaign`], with trials sharded across `pool` on
+/// per-worker network clones. Trial seeds depend only on the trial index,
+/// so the report is bit-identical to the sequential runner.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn run_activation_campaign_with(
+    net: &mut Network,
+    inputs: &[Tensor],
+    cfg: &CampaignConfig,
+    pool: &WorkerPool,
+) -> CampaignReport {
+    assert!(!inputs.is_empty(), "campaign needs at least one input");
+    if pool.threads() == 1 || cfg.trials < 2 {
+        return run_activation_campaign(net, inputs, cfg);
     }
-    report
+    let golden: Vec<usize> = inputs.iter().map(|x| argmax(net.forward(x, false).data())).collect();
+    run_campaign_sharded(net, inputs, cfg, &golden, pool, activation_trial)
 }
 
 /// Runs `cfg.trials` weight-fault trials: each trial injects persistent
@@ -172,33 +268,29 @@ pub fn run_weight_campaign(
 ) -> CampaignReport {
     assert!(!inputs.is_empty(), "campaign needs at least one input");
     let golden: Vec<usize> = inputs.iter().map(|x| argmax(net.forward(x, false).data())).collect();
+    tally(cfg.trials, (0..cfg.trials).map(|t| weight_trial(net, inputs, cfg, &golden, t)))
+}
 
-    let mut report =
-        CampaignReport { trials: cfg.trials, masked: 0, sdc: 0, detected: 0, injected: 0 };
-    for t in 0..cfg.trials {
-        let input = &inputs[t % inputs.len()];
-        let spec = FaultSpec::persistent_weights(trial_seed(cfg.seed, t), cfg.rate)
-            .with_bits(cfg.bits.clone())
-            .with_sites(cfg.sites.clone());
-        let records = inject_weights(net, &spec);
-        let outcome = if cfg.checksums {
-            match net.forward_checked(input, false, None, cfg.tolerance) {
-                Err(_) => TrialOutcome::Detected,
-                Ok(logits) => classify(argmax(logits.data()), golden[t % inputs.len()]),
-            }
-        } else {
-            let logits = net.forward(input, false);
-            classify(argmax(logits.data()), golden[t % inputs.len()])
-        };
-        report.injected += records.len();
-        repair_weights(net, &records);
-        match outcome {
-            TrialOutcome::Masked => report.masked += 1,
-            TrialOutcome::Sdc => report.sdc += 1,
-            TrialOutcome::Detected => report.detected += 1,
-        }
+/// [`run_weight_campaign`], with trials sharded across `pool` on
+/// per-worker network clones. Each shard injects into and repairs its own
+/// clone, so the caller's network is untouched and the merged report is
+/// bit-identical to the sequential runner.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn run_weight_campaign_with(
+    net: &mut Network,
+    inputs: &[Tensor],
+    cfg: &CampaignConfig,
+    pool: &WorkerPool,
+) -> CampaignReport {
+    assert!(!inputs.is_empty(), "campaign needs at least one input");
+    if pool.threads() == 1 || cfg.trials < 2 {
+        return run_weight_campaign(net, inputs, cfg);
     }
-    report
+    let golden: Vec<usize> = inputs.iter().map(|x| argmax(net.forward(x, false).data())).collect();
+    run_campaign_sharded(net, inputs, cfg, &golden, pool, weight_trial)
 }
 
 #[cfg(test)]
@@ -234,6 +326,32 @@ mod tests {
         let c = run_weight_campaign(&mut net, &inputs, &cfg);
         let d = run_weight_campaign(&mut net, &inputs, &cfg);
         assert_eq!(c, d);
+    }
+
+    #[test]
+    fn parallel_campaigns_are_bit_identical_to_sequential() {
+        use pgmr_nn::WorkerPool;
+        let (mut net, inputs) = net_and_inputs();
+        let cfg = CampaignConfig { trials: 37, seed: 99, rate: 5e-3, ..Default::default() };
+        let seq_act = run_activation_campaign(&mut net, &inputs, &cfg);
+        let seq_wt = run_weight_campaign(&mut net, &inputs, &cfg);
+        for width in [2, 4] {
+            let pool = WorkerPool::new(width);
+            assert_eq!(
+                run_activation_campaign_with(&mut net, &inputs, &cfg, &pool),
+                seq_act,
+                "activation campaign diverged at width {width}"
+            );
+            assert_eq!(
+                run_weight_campaign_with(&mut net, &inputs, &cfg, &pool),
+                seq_wt,
+                "weight campaign diverged at width {width}"
+            );
+        }
+        // Width 1 takes the sequential fast path; it must agree too.
+        let solo = WorkerPool::new(1);
+        assert_eq!(run_activation_campaign_with(&mut net, &inputs, &cfg, &solo), seq_act);
+        assert_eq!(run_weight_campaign_with(&mut net, &inputs, &cfg, &solo), seq_wt);
     }
 
     #[test]

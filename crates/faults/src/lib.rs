@@ -38,7 +38,8 @@ pub mod campaign;
 pub mod inject;
 
 pub use campaign::{
-    run_activation_campaign, run_weight_campaign, CampaignConfig, CampaignReport, TrialOutcome,
+    run_activation_campaign, run_activation_campaign_with, run_weight_campaign,
+    run_weight_campaign_with, CampaignConfig, CampaignReport, TrialOutcome,
 };
 pub use inject::{
     flip_bit, guarded_sites, inject_weights, repair_weights, ActivationInjector, FaultMode,

@@ -19,6 +19,9 @@
 //! * [`optim`] — SGD with momentum and weight decay,
 //! * [`train`] — a mini-batch trainer with seeded shuffling and step LR
 //!   decay,
+//! * [`pool`] — the workspace's shared worker pool (persistent threads,
+//!   ordered results, panic propagation) behind parallel training,
+//!   batched inference, and fault campaigns,
 //! * [`zoo`] — the six benchmark architectures of the paper's Table II,
 //!   scaled to this repository's synthetic datasets,
 //! * [`serialize`] — a versioned binary parameter codec.
@@ -53,10 +56,12 @@ pub mod layers;
 pub mod loss;
 pub mod network;
 pub mod optim;
+pub mod pool;
 pub mod serialize;
 pub mod train;
 pub mod zoo;
 
 pub use layer::{Layer, LayerCost, ParamSlot};
 pub use network::Network;
+pub use pool::WorkerPool;
 pub use train::{TrainConfig, TrainReport, Trainer};

@@ -1,0 +1,350 @@
+//! The workspace's shared worker pool: persistent threads, a channel-fed
+//! job queue, and scoped batch submission.
+//!
+//! [`WorkerPool`] owns a fixed set of long-lived worker threads draining a
+//! single job queue. [`WorkerPool::run`] submits a batch of closures —
+//! which may borrow from the caller's stack — blocks until every job has
+//! finished, and returns the results in submission order. A panic inside a
+//! job is caught on the worker (which survives and keeps serving the
+//! queue) and re-raised on the submitting thread, so a poisoned job cannot
+//! strand the pool.
+//!
+//! ## Determinism contract
+//!
+//! A job's output never depends on which worker ran it or on the pool
+//! width: `run` returns exactly what executing the jobs sequentially in
+//! submission order would return. Every parallel path in the workspace
+//! (ensemble training, batch evaluation, fault campaigns) leans on this —
+//! parallel results are bit-identical to sequential ones.
+//!
+//! ## Sizing
+//!
+//! The process-wide pool from [`global`] is sized once, at first use, from
+//! [`configured_threads`]: an explicit [`set_thread_override`] wins, then
+//! the `PGMR_THREADS` environment variable, then the host's available
+//! parallelism. The override is a mutex-guarded cell rather than
+//! `std::env::set_var` (unsound with concurrent env reads); call it before
+//! the pool's first use — later calls cannot resize an already-built
+//! global pool. Code that needs a specific width builds its own
+//! [`WorkerPool`].
+//!
+//! Jobs must not submit nested batches to the *same* pool: a job blocking
+//! on `run` against the pool executing it can deadlock once every worker
+//! is parked the same way. Nested work belongs in a separate pool or
+//! inline in the job.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work queued to the workers.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared completion state for one `run` batch: slot-addressed results
+/// plus a countdown the caller blocks on.
+struct Batch<T> {
+    results: Mutex<Vec<Option<std::thread::Result<T>>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// A fixed-width pool of persistent worker threads.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("pgmr-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), workers }
+    }
+
+    /// The pool's worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `jobs` on the workers and returns their outputs in submission
+    /// order. Blocks until every job has completed. Jobs may borrow from
+    /// the caller's stack; single-threaded pools (and empty batches) run
+    /// inline with identical results.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the earliest-submitted panicking job, after
+    /// every job in the batch has finished.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads() == 1 || n == 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        let batch: Arc<Batch<T>> = Arc::new(Batch {
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        });
+        let sender = self.sender.as_ref().expect("pool is live while not dropped");
+        for (slot, job) in jobs.into_iter().enumerate() {
+            let batch = Arc::clone(&batch);
+            let task = move || {
+                let out = catch_unwind(AssertUnwindSafe(job));
+                batch.results.lock().unwrap()[slot] = Some(out);
+                let mut left = batch.remaining.lock().unwrap();
+                *left -= 1;
+                if *left == 0 {
+                    batch.done.notify_all();
+                }
+            };
+            // SAFETY: the job queue demands 'static closures but `task`
+            // may borrow from this stack frame (through `job`) and carries
+            // the non-'static type parameter `T`. Erasing the lifetime is
+            // sound because this call does not return until `remaining`
+            // hits 0, and a worker only decrements `remaining` after the
+            // borrowed-data-touching part of the task (the job itself,
+            // panic or not) has fully finished. After the decrement the
+            // task touches nothing but its own `Arc<Batch<T>>`, whose `T`
+            // payload the caller drains before returning, so a straggling
+            // worker can at most drop an empty, payload-free `Batch`.
+            let task: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(Box::new(task))
+            };
+            sender.send(task).expect("worker pool accepts jobs while live");
+        }
+        let mut left = batch.remaining.lock().unwrap();
+        while *left > 0 {
+            left = batch.done.wait(left).unwrap();
+        }
+        drop(left);
+
+        let slots = std::mem::take(&mut *batch.results.lock().unwrap());
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for slot in slots {
+            match slot.expect("every job reports a result") {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every idle worker with a recv error.
+        self.sender = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only for the dequeue, not while running the job.
+        let job = match receiver.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => break, // pool dropped
+        };
+        job();
+    }
+}
+
+/// Process-wide worker-count override, set via [`set_thread_override`]
+/// (normally through the suite config). Mutex-guarded instead of mutating
+/// `PGMR_THREADS`: `std::env::set_var` is unsound with concurrent
+/// environment reads.
+static THREAD_OVERRIDE: Mutex<Option<usize>> = Mutex::new(None);
+
+/// Overrides the worker-thread count that [`configured_threads`] resolves,
+/// process-wide and thread-safe. `None` restores the default resolution
+/// (`PGMR_THREADS`, then the host's available parallelism). Takes effect
+/// on the shared [`global`] pool only if called before its first use.
+pub fn set_thread_override(threads: Option<usize>) {
+    *THREAD_OVERRIDE.lock().unwrap() = threads.map(|t| t.max(1));
+}
+
+/// The worker-thread count for new pools: the [`set_thread_override`]
+/// value, else a positive `PGMR_THREADS` environment variable, else the
+/// host's available parallelism (1 when unknown).
+pub fn configured_threads() -> usize {
+    if let Some(t) = *THREAD_OVERRIDE.lock().unwrap() {
+        return t;
+    }
+    if let Ok(raw) = std::env::var("PGMR_THREADS") {
+        if let Ok(t) = raw.trim().parse::<usize>() {
+            if t > 0 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide shared pool, built on first use at
+/// [`configured_threads`] width and kept alive for the process lifetime.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(configured_threads()))
+}
+
+/// Splits `0..len` into at most `shards` contiguous near-equal ranges
+/// (longer ranges first, empties dropped) — the standard work split for
+/// sharded batch processing: concatenating per-range results in order
+/// reproduces the sequential output exactly.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.clamp(1, len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = (0..32).map(|i| move || i * i).collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_callers_stack() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..100).collect();
+        let slices: Vec<&[u64]> = data.chunks(7).collect();
+        let jobs: Vec<_> = slices.iter().map(|s| move || s.iter().sum::<u64>()).collect::<Vec<_>>();
+        let partials = pool.run(jobs);
+        assert_eq!(partials.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_completes() {
+        // More workers than jobs: the extra workers idle, nothing hangs.
+        let pool = WorkerPool::new(8);
+        let jobs: Vec<_> = (0..3).map(|i| move || i + 10).collect();
+        assert_eq!(pool.run(jobs), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn panics_propagate_and_the_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom in job")), Box::new(|| 3)];
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.run(jobs)));
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload {msg:?}");
+        // The workers caught the panic and keep serving.
+        let jobs: Vec<_> = (0..4).map(|i| move || i).collect();
+        assert_eq!(pool.run(jobs), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn earliest_submitted_panic_wins() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> =
+            vec![Box::new(|| panic!("first")), Box::new(|| panic!("second"))];
+        let payload = catch_unwind(AssertUnwindSafe(|| pool.run(jobs))).unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "first");
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(pool.run(jobs).is_empty());
+    }
+
+    #[test]
+    fn zero_width_clamps_to_one_worker() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn pooled_matches_sequential_bit_for_bit() {
+        // The determinism contract: identical outputs at any width.
+        let work = |seed: u64| {
+            let mut h = seed;
+            for _ in 0..1000 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            h
+        };
+        let sequential: Vec<u64> = (0..40).map(work).collect();
+        for width in [2, 4, 8] {
+            let pool = WorkerPool::new(width);
+            let jobs: Vec<_> = (0..40).map(|s| move || work(s)).collect();
+            assert_eq!(pool.run(jobs), sequential, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 8, 9, 100] {
+            for shards in [1usize, 2, 3, 8, 200] {
+                let ranges = shard_ranges(len, shards);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len {len} shards {shards}");
+                assert!(ranges.len() <= shards.max(1));
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_override_takes_precedence() {
+        // Serialized against other override users by being the only such
+        // test in this binary.
+        set_thread_override(Some(3));
+        assert_eq!(configured_threads(), 3);
+        set_thread_override(Some(0));
+        assert_eq!(configured_threads(), 1, "override clamps to one thread");
+        set_thread_override(None);
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -95,7 +95,6 @@ impl Trainer {
             }
             order.shuffle(&mut rng);
             let mut loss_sum = 0.0f32;
-            let mut batches = 0;
             for chunk in order.chunks(cfg.batch_size) {
                 let batch_imgs: Vec<Tensor> = chunk.iter().map(|&i| images[i].clone()).collect();
                 let batch = Tensor::stack_images(&batch_imgs);
@@ -105,10 +104,11 @@ impl Trainer {
                 let (loss, grad) = softmax_cross_entropy(&logits, &batch_labels);
                 net.backward(&grad);
                 opt.step(net);
-                loss_sum += loss;
-                batches += 1;
+                // `loss` is the batch mean; weight it by the batch size so
+                // a ragged final batch cannot bias the epoch mean.
+                loss_sum += loss * chunk.len() as f32;
             }
-            epoch_losses.push(loss_sum / batches as f32);
+            epoch_losses.push(loss_sum / images.len() as f32);
         }
 
         let final_train_accuracy = accuracy(net, images, labels);
@@ -124,6 +124,11 @@ impl Trainer {
 /// machine) it degrades to sequential execution with identical results —
 /// job outputs never depend on scheduling.
 ///
+/// This is a convenience wrapper over [`crate::pool::WorkerPool`] that
+/// spins up an ephemeral pool of the requested width; callers on a hot
+/// path should prefer [`crate::pool::global`] and
+/// [`crate::pool::WorkerPool::run`] to reuse threads.
+///
 /// # Panics
 ///
 /// Panics if a job panics.
@@ -132,40 +137,18 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let n = jobs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = max_threads.max(1).min(n);
+    let threads = max_threads.max(1).min(jobs.len().max(1));
     if threads == 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
-    let pending: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = pending[i].lock().unwrap().take().expect("job taken twice");
-                let out = job();
-                results.lock().unwrap()[i] = Some(out);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results.into_inner().unwrap().into_iter().map(|r| r.expect("job result missing")).collect()
+    crate::pool::WorkerPool::new(threads).run(jobs)
 }
 
-/// The host's available parallelism, defaulting to 1 when unknown.
+/// The worker-thread count parallel helpers default to: the configured
+/// pool width (`PGMR_THREADS` / suite override), else the host's available
+/// parallelism, defaulting to 1 when unknown.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    crate::pool::configured_threads()
 }
 
 /// Classification accuracy of `net` over a labeled set, evaluated in
@@ -249,6 +232,33 @@ mod tests {
         let rb = Trainer::new(cfg).fit(&mut b, &images, &labels);
         assert_eq!(ra.epoch_losses, rb.epoch_losses);
         assert_eq!(a.state_dict(), b.state_dict());
+    }
+
+    #[test]
+    fn epoch_loss_is_sample_weighted_under_ragged_batches() {
+        // With a vanishing lr the weights are effectively frozen, so every
+        // batch sees the same network and the epoch loss must equal the
+        // full-set mean loss regardless of how the set is chopped into
+        // batches. 40 samples at batch_size 16 leave a ragged final batch
+        // of 8 — the case the old unweighted mean-of-batch-means got wrong.
+        let build = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let layers: Vec<Box<dyn Layer>> = vec![
+                Box::new(Flatten::new()),
+                Box::new(Dense::new(4, 6, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(6, 2, &mut rng)),
+            ];
+            Network::new(layers, "ragged", 2)
+        };
+        let (images, labels) = make_xor_like_dataset();
+        assert_eq!(images.len() % 16, 8, "fixture must produce a ragged final batch");
+        let frozen =
+            |batch_size| TrainConfig { epochs: 1, batch_size, lr: 1e-9, ..TrainConfig::default() };
+        let ragged = Trainer::new(frozen(16)).fit(&mut build(), &images, &labels);
+        let single = Trainer::new(frozen(images.len())).fit(&mut build(), &images, &labels);
+        let gap = (ragged.epoch_losses[0] - single.epoch_losses[0]).abs();
+        assert!(gap < 1e-5, "partition changed the epoch loss by {gap}");
     }
 
     #[test]

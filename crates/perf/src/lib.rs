@@ -153,6 +153,10 @@ impl CostModel {
         assert!((10..=32).contains(&precision_bits), "precision bits must be in 10..=32");
         let bytes_per_elem = precision_bits as f64 / 8.0;
         let mut total = InferenceCost::default();
+        // Fractional packed bytes accumulate in f64 — truncating per layer
+        // would drift the reported total away from the value the latency
+        // and energy terms actually used at sub-byte-aligned precisions.
+        let mut total_bytes = 0.0f64;
         for layer in profile {
             let macs = layer.macs as f64;
             let bytes = (layer.param_elems + layer.output_elems) as f64 * bytes_per_elem;
@@ -165,8 +169,9 @@ impl CostModel {
             total.latency_s += latency;
             total.energy_j += energy;
             total.macs += layer.macs;
-            total.bytes += bytes as u64;
+            total_bytes += bytes;
         }
+        total.bytes = total_bytes.round() as u64;
         // Preprocessing + decision-engine overhead.
         total.latency_s *= 1.0 + self.overhead_fraction;
         total.energy_j *= 1.0 + self.overhead_fraction;
@@ -227,6 +232,25 @@ mod tests {
         assert!(c14.latency_s <= c16.latency_s);
         // MAC count is precision-independent.
         assert_eq!(c32.macs, c14.macs);
+    }
+
+    #[test]
+    fn fractional_packed_bytes_accumulate_without_per_layer_truncation() {
+        // Layers whose element counts are not multiples of 8 pack to
+        // fractional byte counts at 10- and 14-bit widths. The total must
+        // be the rounded sum, not the sum of per-layer truncations.
+        let model = CostModel::new(GpuModel::titan_x_pascal());
+        let layers = 64;
+        // 5 elements at 10 bits = 6.25 bytes; at 14 bits = 8.75 bytes.
+        let profile =
+            vec![LayerCost { kind: "dense", macs: 10, param_elems: 3, output_elems: 2 }; layers];
+        for (bits, per_layer) in [(10u32, 6.25f64), (14, 8.75)] {
+            let cost = model.network_cost(&profile, bits);
+            let expect = (per_layer * layers as f64).round() as u64;
+            let truncated = per_layer.floor() as u64 * layers as u64;
+            assert_eq!(cost.bytes, expect, "{bits}-bit total must round once at the end");
+            assert_ne!(cost.bytes, truncated, "{bits}-bit total must not truncate per layer");
+        }
     }
 
     #[test]

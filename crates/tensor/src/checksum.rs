@@ -22,6 +22,12 @@ pub enum ChecksumKind {
     Row,
     /// A column sum of the result disagreed with `(e·A)·B`.
     Col,
+    /// A GEMM input (operand or folded bias) was NaN/Inf at derivation
+    /// time. The multiply's zero-skip fast path turns `0 × NaN/Inf` into
+    /// `0`, so a corrupted weight behind a zero activation can leave every
+    /// row/column sum finite and consistent — the explicit input scan is
+    /// what keeps such corruption from hiding.
+    NonFinite,
 }
 
 /// A detected checksum violation in a guarded GEMM output.
@@ -42,6 +48,9 @@ impl std::fmt::Display for ChecksumFault {
         let dir = match self.kind {
             ChecksumKind::Row => "row",
             ChecksumKind::Col => "col",
+            ChecksumKind::NonFinite => {
+                return write!(f, "ABFT checksum fault: non-finite GEMM input");
+            }
         };
         write!(
             f,
@@ -67,6 +76,9 @@ pub struct GemmChecksums {
     row_scale: Vec<f32>,
     /// Absolute-magnitude column sums bounding round-off per column.
     col_scale: Vec<f32>,
+    /// False when any input operand (or folded bias) was NaN/Inf at
+    /// derivation time — see [`ChecksumKind::NonFinite`].
+    inputs_finite: bool,
 }
 
 impl GemmChecksums {
@@ -79,11 +91,13 @@ impl GemmChecksums {
     pub fn for_ab(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Self {
         assert_eq!(a.len(), m * k, "a must be {m}x{k}");
         assert_eq!(b.len(), k * n, "b must be {k}x{n}");
+        let mut inputs_finite = true;
         // b_row_sum[p] = Σ_j B[p,j]; b_abs_row_sum likewise on |B|.
         let mut b_row_sum = vec![0.0f32; k];
         let mut b_abs_row_sum = vec![0.0f32; k];
         for p in 0..k {
             for &v in &b[p * n..(p + 1) * n] {
+                inputs_finite &= v.is_finite();
                 b_row_sum[p] += v;
                 b_abs_row_sum[p] += v.abs();
             }
@@ -98,6 +112,7 @@ impl GemmChecksums {
             let mut acc = 0.0f32;
             let mut acc_abs = 0.0f32;
             for (p, &v) in a_row.iter().enumerate() {
+                inputs_finite &= v.is_finite();
                 acc += v * b_row_sum[p];
                 acc_abs += v.abs() * b_abs_row_sum[p];
                 a_col_sum[p] += v;
@@ -116,7 +131,7 @@ impl GemmChecksums {
                 col_scale[j] += sa * v.abs();
             }
         }
-        GemmChecksums { m, n, row_sum, col_sum, row_scale, col_scale }
+        GemmChecksums { m, n, row_sum, col_sum, row_scale, col_scale, inputs_finite }
     }
 
     /// Derives checksums for `C = A·Bᵀ` with `A: m×k`, `B: n×k` — the
@@ -128,11 +143,13 @@ impl GemmChecksums {
     pub fn for_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Self {
         assert_eq!(a.len(), m * k, "a must be {m}x{k}");
         assert_eq!(b.len(), n * k, "b must be {n}x{k}");
+        let mut inputs_finite = true;
         // (Bᵀ·e)[p] = Σ_j B[j,p]: column sums of B.
         let mut bt_row_sum = vec![0.0f32; k];
         let mut bt_abs_row_sum = vec![0.0f32; k];
         for j in 0..n {
             for (p, &v) in b[j * k..(j + 1) * k].iter().enumerate() {
+                inputs_finite &= v.is_finite();
                 bt_row_sum[p] += v;
                 bt_abs_row_sum[p] += v.abs();
             }
@@ -146,6 +163,7 @@ impl GemmChecksums {
             let mut acc = 0.0f32;
             let mut acc_abs = 0.0f32;
             for (p, &v) in a_row.iter().enumerate() {
+                inputs_finite &= v.is_finite();
                 acc += v * bt_row_sum[p];
                 acc_abs += v.abs() * bt_abs_row_sum[p];
                 a_col_sum[p] += v;
@@ -167,7 +185,7 @@ impl GemmChecksums {
             col_sum[j] = acc;
             col_scale[j] = acc_abs;
         }
-        GemmChecksums { m, n, row_sum, col_sum, row_scale, col_scale }
+        GemmChecksums { m, n, row_sum, col_sum, row_scale, col_scale, inputs_finite }
     }
 
     /// Folds a bias that the producer added to every *row* of the result
@@ -178,6 +196,7 @@ impl GemmChecksums {
     /// Panics if `bias.len() != n`.
     pub fn add_broadcast_row(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.n, "bias must have length {}", self.n);
+        self.inputs_finite &= bias.iter().all(|v| v.is_finite());
         let total: f32 = bias.iter().sum();
         let total_abs: f32 = bias.iter().map(|v| v.abs()).sum();
         for (s, sc) in self.row_sum.iter_mut().zip(&mut self.row_scale) {
@@ -199,6 +218,7 @@ impl GemmChecksums {
     /// Panics if `bias.len() != m`.
     pub fn add_broadcast_col(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.m, "bias must have length {}", self.m);
+        self.inputs_finite &= bias.iter().all(|v| v.is_finite());
         for (i, (&b, s)) in bias.iter().zip(&mut self.row_sum).enumerate() {
             *s += self.n as f32 * b;
             self.row_scale[i] += self.n as f32 * b.abs();
@@ -225,13 +245,27 @@ impl GemmChecksums {
     ///
     /// `tolerance` is relative: a sum may deviate by up to
     /// `tolerance × scale + tolerance` where `scale` is the matching
-    /// absolute-magnitude sum. Returns the first violated checksum.
+    /// absolute-magnitude sum. Returns the first violated checksum. If any
+    /// input was NaN/Inf at derivation time the result is rejected
+    /// outright ([`ChecksumKind::NonFinite`]) — such corruption can
+    /// otherwise hide behind the multiply's `a == 0` fast path.
     ///
     /// # Panics
     ///
     /// Panics if `c.len() != m·n`.
     pub fn verify(&self, c: &[f32], tolerance: f32) -> Result<(), ChecksumFault> {
         assert_eq!(c.len(), self.m * self.n, "c must be {}x{}", self.m, self.n);
+        // Non-finite inputs fault unconditionally: the multiply's zero-skip
+        // can mask `0 × NaN/Inf` to a finite output, and an Inf expected
+        // sum would make the deviation test vacuous (`Inf > Inf` is false).
+        if !self.inputs_finite {
+            return Err(ChecksumFault {
+                kind: ChecksumKind::NonFinite,
+                index: 0,
+                deviation: f32::NAN,
+                bound: 0.0,
+            });
+        }
         let mut col_actual = vec![0.0f32; self.n];
         for (i, row) in c.chunks(self.n).enumerate() {
             let actual: f32 = row.iter().sum();
@@ -409,6 +443,60 @@ mod tests {
         }
         let rate = detected as f64 / injected as f64;
         assert!(rate >= 0.99, "detection rate {rate:.4} ({detected}/{injected})");
+    }
+
+    #[test]
+    fn nonfinite_weight_behind_zero_activation_is_detected() {
+        // gemm's `a_ip == 0.0` skip turns `0 × NaN` into nothing at all,
+        // so the product stays finite and every row/column sum matches —
+        // only the explicit input scan can flag the corruption.
+        let mut rng = StdRng::seed_from_u64(6);
+        let (m, k, n) = (4, 6, 5);
+        let mut a = random(m * k, &mut rng);
+        let mut b = random(k * n, &mut rng);
+        // Poison one row of B and make it reachable *only* through zero
+        // activations by zeroing the activation column that feeds it.
+        b[3 * n + 1] = f32::NAN;
+        for i in 0..m {
+            a[i * k + 3] = 0.0;
+        }
+        let mut c = vec![0.0; m * n];
+        crate::gemm::gemm(m, k, n, &a, &b, &mut c);
+        assert!(c.iter().all(|v| v.is_finite()), "zero-skip must mask the NaN in the output");
+        let fault = GemmChecksums::for_ab(m, k, n, &a, &b)
+            .verify(&c, DEFAULT_TOLERANCE)
+            .expect_err("masked NaN weight must be detected");
+        assert_eq!(fault.kind, ChecksumKind::NonFinite);
+
+        // Same story in the dense-layer A·Bᵀ orientation, with Inf.
+        let a2 = vec![0.0f32; m * k];
+        let mut b2 = random(n * k, &mut rng);
+        b2[k + 2] = f32::INFINITY;
+        let mut c2 = vec![0.0; m * n];
+        crate::gemm::gemm_a_bt(m, k, n, &a2, &b2, &mut c2);
+        let fault = GemmChecksums::for_a_bt(m, k, n, &a2, &b2)
+            .verify(&c2, DEFAULT_TOLERANCE)
+            .expect_err("Inf weight behind zero activations must be detected");
+        assert_eq!(fault.kind, ChecksumKind::NonFinite);
+
+        // checked_gemm surfaces the same fault end to end.
+        let mut c3 = vec![0.0; m * n];
+        let fault = checked_gemm(m, k, n, &a, &b, &mut c3, DEFAULT_TOLERANCE).unwrap_err();
+        assert_eq!(fault.kind, ChecksumKind::NonFinite);
+    }
+
+    #[test]
+    fn nonfinite_bias_is_detected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, k, n) = (3, 4, 6);
+        let a = random(m * k, &mut rng);
+        let b = random(n * k, &mut rng);
+        let mut bias = random(n, &mut rng);
+        bias[2] = f32::NAN;
+        let mut sums = GemmChecksums::for_a_bt(m, k, n, &a, &b);
+        sums.add_broadcast_row(&bias);
+        let fault = sums.verify(&vec![0.0; m * n], DEFAULT_TOLERANCE).unwrap_err();
+        assert_eq!(fault.kind, ChecksumKind::NonFinite);
     }
 
     #[test]

@@ -10,6 +10,13 @@
 /// Computes `c += a * b` where `a` is `m×k`, `b` is `k×n`, and `c` is `m×n`,
 /// all row-major.
 ///
+/// Zero entries of `a` (common under ReLU activations) skip their inner
+/// loop entirely. The skip means `0 × NaN/Inf` contributes nothing instead
+/// of poisoning the output — a corrupted `b` value behind a zero `a` entry
+/// is invisible here. ABFT callers are covered regardless: checksum
+/// derivation ([`crate::checksum::GemmChecksums`]) scans both operands and
+/// rejects non-finite inputs at verification time.
+///
 /// # Panics
 ///
 /// Panics if any slice length disagrees with the stated dimensions.
@@ -72,7 +79,8 @@ pub fn gemm_bias(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], bias: &[f32
 
 /// Computes `c += a^T * b` where `a` is `k×m` (so `a^T` is `m×k`), `b` is
 /// `k×n`, and `c` is `m×n`. Used by backward passes to form weight
-/// gradients without materializing the transpose.
+/// gradients without materializing the transpose. Shares the zero-skip
+/// fast path (and its non-finite masking caveat) with [`gemm`].
 ///
 /// # Panics
 ///
