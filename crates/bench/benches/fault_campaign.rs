@@ -9,6 +9,9 @@
 //! the checksum blind spot that motivates ensemble-level quarantine.
 //!
 //! Reports are deterministic: identical seeds reproduce identical tables.
+//! The harness also writes `BENCH_fault_campaign_obs.json`, the
+//! deterministic [`pgmr_obs`] snapshot of the run (trial outcome counters
+//! under `faults.*`), for CI to archive.
 
 use pgmr_bench::{banner, scale};
 use pgmr_datasets::Split;
@@ -86,4 +89,12 @@ fn main() {
     println!("shape: ABFT pushes activation-fault SDC to ~0 at ≥99% detection of");
     println!("exponent flips; weight faults largely evade it and need ensemble-level");
     println!("quarantine (see the fault-model section in DESIGN.md).");
+
+    // The campaign counters are seed-deterministic, so the reproducibility
+    // export is byte-identical across runs of this harness.
+    let obs_json = pgmr_obs::global().snapshot().to_deterministic_json();
+    std::fs::write("BENCH_fault_campaign_obs.json", &obs_json)
+        .expect("write BENCH_fault_campaign_obs.json");
+    println!();
+    println!("wrote BENCH_fault_campaign_obs.json (observability snapshot of the run)");
 }

@@ -10,9 +10,12 @@
 //! to the sequential baseline before its timing is reported.
 //!
 //! Besides the printed table, the harness writes `BENCH_throughput.json`
-//! to the working directory so CI can archive the numbers. Speedups scale
-//! with the host's cores; on a single-core container every width times
-//! out at ~1× and the JSON records `nproc` so readers can tell.
+//! to the working directory so CI can archive the numbers, plus
+//! `BENCH_throughput_obs.json` — the full [`pgmr_obs`] metrics snapshot
+//! accumulated over the run (per-member forward latency, pool job
+//! accounting, verdict tallies). Speedups scale with the host's cores; on
+//! a single-core container every width times out at ~1× and the JSON
+//! records `nproc` so readers can tell.
 
 use std::time::Instant;
 
@@ -99,6 +102,10 @@ fn main() {
         workers(&camp_rates),
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    let obs_json = pgmr_obs::global().snapshot().to_json();
+    std::fs::write("BENCH_throughput_obs.json", &obs_json)
+        .expect("write BENCH_throughput_obs.json");
     println!();
     println!("wrote BENCH_throughput.json (all pooled results verified bit-identical)");
+    println!("wrote BENCH_throughput_obs.json (observability snapshot of the run)");
 }

@@ -34,14 +34,26 @@ impl Thresholds {
 
     /// The paper's "All identical" policy for an `n`-network system: every
     /// network must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` — a zero-member system has no meaningful
+    /// unanimity policy, and silently coercing it to `freq = 1` would turn
+    /// "all must agree" into "any single vote wins".
     pub fn all_identical(n: usize) -> Self {
-        Thresholds::new(0.0, n.max(1))
+        assert!(n > 0, "all_identical requires at least one member, got n=0");
+        Thresholds::new(0.0, n)
     }
 
     /// "All identical with Threshold": every network must agree with at
     /// least 75% confidence (the Fig. 5 configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, as for [`Thresholds::all_identical`].
     pub fn all_identical_with_conf(n: usize) -> Self {
-        Thresholds::new(0.75, n.max(1))
+        assert!(n > 0, "all_identical_with_conf requires at least one member, got n=0");
+        Thresholds::new(0.75, n)
     }
 }
 
@@ -240,5 +252,19 @@ mod tests {
     #[should_panic(expected = "Thr_Conf")]
     fn rejects_bad_conf() {
         Thresholds::new(1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn all_identical_rejects_zero_members() {
+        // Regression: n=0 used to be silently coerced to freq=1, turning
+        // "all must agree" into "any single vote wins".
+        Thresholds::all_identical(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn all_identical_with_conf_rejects_zero_members() {
+        Thresholds::all_identical_with_conf(0);
     }
 }

@@ -96,6 +96,11 @@ impl StagedEngine {
     /// — in deployment each call triggers one network inference, so the
     /// returned `activated` count is exactly the energy spent.
     ///
+    /// Every decision reports its activation count into the global
+    /// `rade.activated` histogram, and its exit path into the
+    /// `rade.early_reliable_total` / `rade.early_unreliable_total` /
+    /// `rade.exhausted_total` counters (paper Fig. 12 observability).
+    ///
     /// # Panics
     ///
     /// Panics if `n_members` differs from the engine's member count.
@@ -108,6 +113,7 @@ impl StagedEngine {
         let freq = self.thresholds.freq;
         let mut histogram: Vec<(usize, usize)> = Vec::new();
         let mut activated = 0usize;
+        let mut hopeless = false;
 
         for (round, &member) in self.priority.iter().enumerate() {
             let probs = predict(member);
@@ -127,6 +133,7 @@ impl StagedEngine {
             // which is RADE's "early detection of unreliable answers".
             let remaining = self.priority.len() - (round + 1);
             if best + remaining < freq {
+                hopeless = remaining > 0;
                 break;
             }
             // Otherwise don't emit a positive verdict before the first
@@ -141,6 +148,7 @@ impl StagedEngine {
                 let leaders: Vec<usize> =
                     histogram.iter().filter(|&&(_, c)| c == best).map(|&(c, _)| c).collect();
                 if leaders.len() == 1 {
+                    Self::note_exit(activated, "rade.early_reliable_total");
                     return StagedDecision {
                         verdict: Verdict::Reliable { class: leaders[0], votes: best },
                         activated,
@@ -148,6 +156,10 @@ impl StagedEngine {
                 }
             }
         }
+        Self::note_exit(
+            activated,
+            if hopeless { "rade.early_unreliable_total" } else { "rade.exhausted_total" },
+        );
 
         // Exhausted (or provably hopeless): final plurality with the
         // accumulated votes, mirroring the full engine's rules.
@@ -168,6 +180,13 @@ impl StagedEngine {
             Verdict::Unreliable { class: Some(class), votes: best }
         };
         StagedDecision { verdict, activated }
+    }
+
+    /// Records one staged decision's activation cost and exit path.
+    fn note_exit(activated: usize, exit_counter: &str) {
+        let obs = pgmr_obs::global();
+        obs.histogram("rade.activated").record(activated as u64);
+        obs.counter(exit_counter).inc();
     }
 }
 

@@ -9,6 +9,10 @@
 //! mode. [`ReliabilityMonitor`] tracks the flag rate over a sliding window
 //! and raises an alarm when it crosses a threshold calibrated from the
 //! validation flag rate.
+//!
+//! State transitions are surfaced through [`pgmr_obs`]: the monitor bumps
+//! `monitor.quarantines_total` and emits `monitor.quarantine`,
+//! `monitor.alarm`, and `monitor.recovered` events on the global registry.
 
 use crate::decision::Verdict;
 use serde::{Deserialize, Serialize};
@@ -56,9 +60,8 @@ pub struct ReliabilityMonitor {
     degraded: bool,
     total_seen: u64,
     total_flagged: u64,
-    /// Quarantine events surfaced by the system: `(total_seen at the
-    /// event, member index)`.
-    quarantine_log: Vec<(u64, usize)>,
+    /// Quarantine events surfaced by the system.
+    quarantines: u64,
 }
 
 impl ReliabilityMonitor {
@@ -84,7 +87,7 @@ impl ReliabilityMonitor {
             degraded: false,
             total_seen: 0,
             total_flagged: 0,
-            quarantine_log: Vec::new(),
+            quarantines: 0,
         }
     }
 
@@ -124,30 +127,58 @@ impl ReliabilityMonitor {
         if !verdict.is_reliable() {
             self.total_flagged += 1;
         }
+        let rate = self.windowed_flag_rate();
         if self.window.len() == self.capacity {
-            let rate = self.windowed_flag_rate();
             if rate >= self.alarm_rate {
-                self.degraded = true;
+                self.latch_degraded();
             } else if rate <= self.recovery_rate {
-                self.degraded = false;
+                self.clear_degraded(rate);
             }
             // Rates inside the hysteresis band leave the latch unchanged.
+        } else if self.degraded && rate <= self.recovery_rate {
+            // A quarantine latched the monitor before the window first
+            // filled. The latch is re-evaluated on every observation:
+            // clean partial-window evidence is allowed to clear it rather
+            // than pinning the stream degraded until the window fills.
+            self.clear_degraded(rate);
         }
         self.health()
     }
 
+    fn latch_degraded(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            pgmr_obs::global().emit(
+                "monitor.alarm",
+                format!("rate={:.4} seen={}", self.windowed_flag_rate(), self.total_seen),
+            );
+        }
+    }
+
+    fn clear_degraded(&mut self, rate: f64) {
+        if self.degraded {
+            self.degraded = false;
+            pgmr_obs::global()
+                .emit("monitor.recovered", format!("rate={rate:.4} seen={}", self.total_seen));
+        }
+    }
+
     /// Records that the system quarantined a member. The stream is marked
     /// degraded until the windowed flag rate proves the shrunk ensemble
-    /// still healthy (it must fall to the recovery threshold).
+    /// still healthy (it must fall to the recovery threshold) — partial
+    /// windows count, so a quarantine during warm-up does not pin the
+    /// stream degraded until the window fills.
     pub fn note_quarantine(&mut self, member: usize) {
-        self.quarantine_log.push((self.total_seen, member));
+        self.quarantines += 1;
+        let obs = pgmr_obs::global();
+        obs.counter("monitor.quarantines_total").inc();
+        obs.emit("monitor.quarantine", format!("member={member} seen={}", self.total_seen));
         self.degraded = true;
     }
 
-    /// Quarantine events observed so far: `(total_seen at the event,
-    /// member index)`.
-    pub fn quarantine_log(&self) -> &[(u64, usize)] {
-        &self.quarantine_log
+    /// Number of quarantine events observed so far.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
     }
 
     /// Flag rate over the current window.
@@ -280,16 +311,36 @@ mod tests {
     #[test]
     fn quarantine_marks_stream_degraded_until_recovery() {
         let mut m = ReliabilityMonitor::new(3, 0.9).with_recovery(0.0);
+        m.observe(&flagged());
         m.note_quarantine(1);
-        assert_eq!(m.quarantine_log(), &[(0, 1)]);
-        // Even while warming up, a quarantined member is a degraded system.
+        assert_eq!(m.quarantines(), 1);
+        // Even while warming up, a quarantined member is a degraded system,
+        // and a flag in the partial window keeps it that way.
         assert_eq!(m.health(), StreamHealth::Degraded);
-        m.observe(&reliable());
-        m.observe(&reliable());
+        m.observe(&flagged());
         assert_eq!(m.health(), StreamHealth::Degraded);
-        // A full window of clean verdicts (rate 0 <= recovery) clears it.
-        m.observe(&reliable());
+        // Clean verdicts push the flags out of the window (rate 0 <=
+        // recovery), clearing the latch.
+        for _ in 0..3 {
+            m.observe(&reliable());
+        }
         assert_eq!(m.health(), StreamHealth::Healthy);
+    }
+
+    #[test]
+    fn quarantine_during_warm_up_recovers_before_window_fills() {
+        // Regression: the latch used to be re-evaluated only once the
+        // window was full, so an early quarantine on a large window pinned
+        // the stream degraded for the first `window` verdicts no matter
+        // how clean they were.
+        let mut m = ReliabilityMonitor::new(1000, 0.9).with_recovery(0.0);
+        m.observe(&reliable());
+        m.note_quarantine(2);
+        assert_eq!(m.health(), StreamHealth::Degraded);
+        m.observe(&reliable());
+        // Partial window of clean verdicts already proves recovery.
+        assert_eq!(m.health(), StreamHealth::WarmingUp);
+        assert_eq!(m.quarantines(), 1);
     }
 
     #[test]

@@ -168,6 +168,8 @@ fn weight_trial(
 
 /// Folds per-trial results into a report, in any order — the counters
 /// commute, so sharded campaigns sum to exactly the sequential report.
+/// Mirrors the totals into the `faults.*` counters on the global
+/// [`pgmr_obs`] registry.
 fn tally(
     trials: usize,
     outcomes: impl IntoIterator<Item = (TrialOutcome, usize)>,
@@ -181,6 +183,12 @@ fn tally(
             TrialOutcome::Detected => report.detected += 1,
         }
     }
+    let obs = pgmr_obs::global();
+    obs.counter("faults.trials_total").add(report.trials as u64);
+    obs.counter("faults.masked_total").add(report.masked as u64);
+    obs.counter("faults.sdc_total").add(report.sdc as u64);
+    obs.counter("faults.detected_total").add(report.detected as u64);
+    obs.counter("faults.flips_total").add(report.injected as u64);
     report
 }
 

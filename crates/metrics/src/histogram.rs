@@ -35,7 +35,9 @@ impl ConfidenceBuckets {
 ///
 /// # Panics
 ///
-/// Panics on an empty record set.
+/// Panics on an empty record set, or on a record with a non-finite
+/// confidence — NaN compares false against every bucket boundary and
+/// would otherwise fall silently into `very_high`.
 pub fn bucket_confidences(records: &[PredictionRecord]) -> ConfidenceBuckets {
     assert!(!records.is_empty(), "cannot bucket zero records");
     let n = records.len() as f64;
@@ -45,6 +47,12 @@ pub fn bucket_confidences(records: &[PredictionRecord]) -> ConfidenceBuckets {
             continue;
         }
         let c = r.confidence;
+        assert!(
+            c.is_finite(),
+            "cannot bucket non-finite confidence {c} (label {}, predicted {})",
+            r.label,
+            r.predicted
+        );
         if c < 0.3 {
             b.low += 1.0;
         } else if c < 0.6 {
@@ -101,5 +109,27 @@ mod tests {
     fn all_correct_gives_empty_buckets() {
         let b = bucket_confidences(&[rec(1, 1, 0.5), rec(2, 2, 0.99)]);
         assert_eq!(b.total_wrong(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_confidence_is_rejected_not_bucketed() {
+        // Regression: NaN compares false against every `<` boundary, so it
+        // used to land silently in `very_high`.
+        bucket_confidences(&[rec(0, 1, f32::NAN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infinite_confidence_is_rejected() {
+        bucket_confidences(&[rec(0, 1, f32::INFINITY)]);
+    }
+
+    #[test]
+    fn non_finite_confidence_on_correct_record_is_ignored() {
+        // Correct answers never enter a bucket, so their confidence is not
+        // validated — only wrong answers feed the distribution.
+        let b = bucket_confidences(&[rec(1, 1, f32::NAN), rec(0, 1, 0.1)]);
+        assert!((b.low - 0.5).abs() < 1e-12);
     }
 }

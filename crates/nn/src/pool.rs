@@ -32,11 +32,27 @@
 //! on `run` against the pool executing it can deadlock once every worker
 //! is parked the same way. Nested work belongs in a separate pool or
 //! inline in the job.
+//!
+//! ## Instrumentation
+//!
+//! Every batch reports into [`pgmr_obs::global`]: `pool.batches_total`,
+//! `pool.jobs_total` / `pool.jobs_inline_total`, queue-wait and job-run
+//! latency histograms (`pool.queue_wait_ns`, `pool.job_run_ns`), and
+//! per-worker utilization counters (`pool.worker.{i}.jobs_total` —
+//! scheduling-dependent, excluded from deterministic snapshots).
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+thread_local! {
+    /// The worker's index within its pool, for per-worker utilization
+    /// accounting; `usize::MAX` on non-worker threads.
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
 
 /// A type-erased unit of work queued to the workers.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -66,7 +82,7 @@ impl WorkerPool {
                 let receiver = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("pgmr-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || worker_loop(i, &receiver))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -96,7 +112,10 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        let obs = pgmr_obs::global();
+        obs.counter("pool.batches_total").inc();
         if self.threads() == 1 || n == 1 {
+            obs.counter("pool.jobs_inline_total").add(n as u64);
             return jobs.into_iter().map(|j| j()).collect();
         }
         let batch: Arc<Batch<T>> = Arc::new(Batch {
@@ -107,8 +126,18 @@ impl WorkerPool {
         let sender = self.sender.as_ref().expect("pool is live while not dropped");
         for (slot, job) in jobs.into_iter().enumerate() {
             let batch = Arc::clone(&batch);
+            let queued_at = Instant::now();
             let task = move || {
+                let obs = pgmr_obs::global();
+                obs.timer("pool.queue_wait_ns").record_duration(queued_at.elapsed());
+                obs.counter("pool.jobs_total").inc();
+                let worker = WORKER_ID.with(Cell::get);
+                if worker != usize::MAX {
+                    obs.counter(&format!("pool.worker.{worker}.jobs_total")).inc();
+                }
+                let run_span = obs.span("pool.job_run_ns");
                 let out = catch_unwind(AssertUnwindSafe(job));
+                run_span.finish();
                 batch.results.lock().unwrap()[slot] = Some(out);
                 let mut left = batch.remaining.lock().unwrap();
                 *left -= 1;
@@ -167,7 +196,8 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+fn worker_loop(index: usize, receiver: &Mutex<Receiver<Job>>) {
+    WORKER_ID.with(|id| id.set(index));
     loop {
         // Hold the lock only for the dequeue, not while running the job.
         let job = match receiver.lock().unwrap().recv() {
@@ -213,7 +243,11 @@ pub fn configured_threads() -> usize {
 /// [`configured_threads`] width and kept alive for the process lifetime.
 pub fn global() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
-    POOL.get_or_init(|| WorkerPool::new(configured_threads()))
+    POOL.get_or_init(|| {
+        let pool = WorkerPool::new(configured_threads());
+        pgmr_obs::global().gauge("pool.threads").set(pool.threads() as f64);
+        pool
+    })
 }
 
 /// Splits `0..len` into at most `shards` contiguous near-equal ranges
@@ -334,6 +368,24 @@ mod tests {
                 assert!(ranges.iter().all(|r| !r.is_empty()));
             }
         }
+    }
+
+    #[test]
+    fn pooled_batches_report_job_metrics() {
+        // Counters on the global registry only grow, so assert deltas as
+        // lower bounds — other tests in this binary add to them too.
+        let obs = pgmr_obs::global();
+        let jobs_before = obs.counter("pool.jobs_total").get();
+        let inline_before = obs.counter("pool.jobs_inline_total").get();
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = (0..16).map(|i| move || i).collect();
+        pool.run(jobs);
+        assert!(obs.counter("pool.jobs_total").get() >= jobs_before + 16);
+        assert!(obs.timer("pool.queue_wait_ns").count() >= 16);
+        // Width-1 pools take the inline path and count separately.
+        let solo = WorkerPool::new(1);
+        solo.run((0..3).map(|i| move || i).collect::<Vec<_>>());
+        assert!(obs.counter("pool.jobs_inline_total").get() >= inline_before + 3);
     }
 
     #[test]

@@ -75,6 +75,10 @@ impl Trainer {
 
     /// Trains `net` on `(images, labels)` and reports per-epoch losses.
     ///
+    /// Reports into [`pgmr_obs::global`]: per-epoch duration
+    /// (`train.epoch_ns`), epoch/sample counters, the last epoch loss as
+    /// a gauge, and one `train.fit` event per completed run.
+    ///
     /// # Panics
     ///
     /// Panics if the dataset is empty or the image/label counts differ.
@@ -83,12 +87,15 @@ impl Trainer {
         assert_eq!(images.len(), labels.len(), "image/label count mismatch");
 
         let cfg = &self.config;
+        let obs = pgmr_obs::global();
+        obs.counter("train.fit_total").inc();
         let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
         let mut order: Vec<usize> = (0..images.len()).collect();
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
         for epoch in 0..cfg.epochs {
+            let epoch_span = obs.span("train.epoch_ns");
             // Step LR decay at 50% and 75% of the run.
             if cfg.epochs >= 4 && (epoch == cfg.epochs / 2 || epoch == cfg.epochs * 3 / 4) {
                 opt.lr *= cfg.lr_decay;
@@ -108,10 +115,26 @@ impl Trainer {
                 // a ragged final batch cannot bias the epoch mean.
                 loss_sum += loss * chunk.len() as f32;
             }
-            epoch_losses.push(loss_sum / images.len() as f32);
+            let epoch_loss = loss_sum / images.len() as f32;
+            epoch_losses.push(epoch_loss);
+            epoch_span.finish();
+            obs.counter("train.epochs_total").inc();
+            obs.counter("train.samples_total").add(images.len() as u64);
+            obs.gauge("train.last_epoch_loss").set(f64::from(epoch_loss));
         }
 
         let final_train_accuracy = accuracy(net, images, labels);
+        obs.emit(
+            "train.fit",
+            format!(
+                "net={} epochs={} samples={} final_loss={:.6} train_acc={:.4}",
+                net.arch_id(),
+                cfg.epochs,
+                images.len(),
+                epoch_losses.last().copied().unwrap_or(f32::NAN),
+                final_train_accuracy
+            ),
+        );
         TrainReport { epoch_losses, final_train_accuracy }
     }
 }

@@ -1,0 +1,128 @@
+//! The bounded structured event log.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One structured event: a monotone sequence number (its logical
+/// timestamp — wall clocks would break snapshot determinism), a kind tag,
+/// and a free-form detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the log's lifetime emission order, starting at 0.
+    pub seq: u64,
+    /// Namespaced event family, e.g. `"abft.quarantine"`.
+    pub kind: String,
+    /// `key=value`-style payload, e.g. `"member=2 reason=solo"`.
+    pub detail: String,
+}
+
+/// A bounded ring of [`Event`]s: emission is O(1), the newest `capacity`
+/// events are retained, and evictions are counted rather than silently
+/// forgotten.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<Event>,
+}
+
+impl EventLog {
+    /// An empty log retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        EventLog { capacity, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, evicting the oldest retained one when full.
+    /// Returns the event's sequence number.
+    pub fn emit(&self, kind: impl Into<String>, detail: impl Into<String>) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back(Event { seq, kind: kind.into(), detail: detail.into() });
+        if inner.events.len() > self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        seq
+    }
+
+    /// Events emitted over the log's lifetime (including evicted ones).
+    pub fn emitted(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// Events evicted by the retention bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Clears the log and restarts sequence numbering (test isolation).
+    pub(crate) fn reset(&self) {
+        *self.inner.lock().unwrap() = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sequenced_in_order() {
+        let log = EventLog::new(8);
+        log.emit("a", "x=1");
+        log.emit("b", "x=2");
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], Event { seq: 0, kind: "a".into(), detail: "x=1".into() });
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts() {
+        let log = EventLog::new(3);
+        for i in 0..5 {
+            log.emit("e", format!("i={i}"));
+        }
+        let events = log.events();
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.emitted(), 5);
+    }
+
+    #[test]
+    fn reset_restarts_sequencing() {
+        let log = EventLog::new(2);
+        log.emit("e", "");
+        log.reset();
+        assert_eq!(log.emit("e", ""), 0);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        EventLog::new(0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Point-in-time metric snapshots and their hand-rolled JSON export
+//! (the workspace has no JSON dependency).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventLog};
+use crate::metric::{Counter, Gauge, Histogram, Unit, BUCKETS};
+
+/// A frozen copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// What the samples measure.
+    pub unit: Unit,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A frozen copy of a [`crate::Registry`]: every metric sorted by name,
+/// plus the retained events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counters as `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms as `(name, frozen contents)`, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted by the log's retention bound.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    pub(crate) fn capture(
+        counters: &Mutex<BTreeMap<String, Arc<Counter>>>,
+        gauges: &Mutex<BTreeMap<String, Arc<Gauge>>>,
+        histograms: &Mutex<BTreeMap<String, Arc<Histogram>>>,
+        events: &EventLog,
+    ) -> Self {
+        let counters =
+            counters.lock().unwrap().iter().map(|(name, c)| (name.clone(), c.get())).collect();
+        let gauges =
+            gauges.lock().unwrap().iter().map(|(name, g)| (name.clone(), g.get())).collect();
+        let histograms = histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| {
+                let buckets = (0..BUCKETS)
+                    .filter_map(|i| {
+                        let n = h.bucket(i);
+                        (n > 0).then(|| (Histogram::bucket_lower_bound(i), n))
+                    })
+                    .collect();
+                (
+                    name.clone(),
+                    HistogramSnapshot { unit: h.unit(), count: h.count(), sum: h.sum(), buckets },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: events.events(),
+            events_dropped: events.dropped(),
+        }
+    }
+
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Retained events of the given kind, oldest first.
+    pub fn events_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Full JSON export: sorted names, stable formatting, wall-clock
+    /// values included.
+    pub fn to_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// Reproducibility export: identical structure, but time-valued
+    /// (`ns`-unit) histograms are redacted to their sample counts and
+    /// scheduling-dependent metrics (names containing `.worker.`) are
+    /// skipped entirely, so two runs of the same seeded workload produce
+    /// byte-identical documents.
+    pub fn to_deterministic_json(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, deterministic: bool) -> String {
+        let keep = |name: &str| !deterministic || !name.contains(".worker.");
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter().filter(|(n, _)| keep(n)), |out, (n, v)| {
+            push_json_string(out, n);
+            out.push_str(&format!(": {v}"));
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, self.gauges.iter().filter(|(n, _)| keep(n)), |out, (n, v)| {
+            push_json_string(out, n);
+            out.push_str(": ");
+            push_json_f64(out, *v);
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, self.histograms.iter().filter(|(n, _)| keep(n)), |out, (n, h)| {
+            push_json_string(out, n);
+            let unit = h.unit.label();
+            if deterministic && h.unit == Unit::Nanos {
+                out.push_str(&format!(": {{\"unit\": \"{unit}\", \"count\": {}}}", h.count));
+            } else {
+                let buckets: Vec<String> =
+                    h.buckets.iter().map(|&(lo, c)| format!("[{lo}, {c}]")).collect();
+                out.push_str(&format!(
+                    ": {{\"unit\": \"{unit}\", \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                    h.count,
+                    h.sum,
+                    buckets.join(", ")
+                ));
+            }
+        });
+        out.push_str("},\n  \"events\": [");
+        push_entries(&mut out, self.events.iter(), |out, e| {
+            out.push_str(&format!("{{\"seq\": {}, \"kind\": ", e.seq));
+            push_json_string(out, &e.kind);
+            out.push_str(", \"detail\": ");
+            push_json_string(out, &e.detail);
+            out.push('}');
+        });
+        out.push_str(&format!("],\n  \"events_dropped\": {}\n}}\n", self.events_dropped));
+        out
+    }
+}
+
+/// Renders `items` as `\n    <item>,`-separated entries with a closing
+/// newline-indent, or nothing when empty (keeps `{}`/`[]` compact).
+fn push_entries<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    mut render: impl FnMut(&mut String, T),
+) {
+    let mut first = true;
+    for item in items {
+        out.push_str(if first { "\n    " } else { ",\n    " });
+        render(out, item);
+        first = false;
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes, and control
+/// characters escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` deterministically: shortest round-trip formatting,
+/// with the non-JSON specials mapped to `null`.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    fn populated() -> Registry {
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.counter("a.count").inc();
+        r.counter("pool.worker.0.jobs_total").add(7);
+        r.gauge("loss").set(0.5);
+        r.histogram("acts").record(3);
+        r.histogram("acts").record(4);
+        r.timer("lat_ns").record(12_345);
+        r.emit("kind.a", "member=1");
+        r.emit("kind\"b", "line\nbreak");
+        r
+    }
+
+    #[test]
+    fn export_is_sorted_and_stable() {
+        let r = populated();
+        let json = r.snapshot().to_json();
+        let a = json.find("\"a.count\"").unwrap();
+        let b = json.find("\"b.count\"").unwrap();
+        assert!(a < b, "names must export in sorted order");
+        assert_eq!(json, r.snapshot().to_json(), "same state, same bytes");
+        assert!(json.contains("\"lat_ns\": {\"unit\": \"ns\", \"count\": 1, \"sum\": 12345"));
+        assert!(json.contains("\"acts\": {\"unit\": \"value\", \"count\": 2, \"sum\": 7, \"buckets\": [[2, 1], [4, 1]]}"));
+        assert!(json.contains("\"events_dropped\": 0"));
+    }
+
+    #[test]
+    fn deterministic_export_redacts_time_and_scheduling() {
+        let json = populated().snapshot().to_deterministic_json();
+        assert!(json.contains("\"lat_ns\": {\"unit\": \"ns\", \"count\": 1}"), "{json}");
+        assert!(!json.contains("12345"), "raw nanoseconds leaked: {json}");
+        assert!(!json.contains("pool.worker."), "scheduling-dependent metric leaked");
+        // Value histograms and counters stay fully exported.
+        assert!(json.contains("\"acts\": {\"unit\": \"value\", \"count\": 2, \"sum\": 7"));
+        assert!(json.contains("\"a.count\": 1"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = populated().snapshot().to_json();
+        assert!(json.contains("\"kind\\\"b\""));
+        assert!(json.contains("\"line\\nbreak\""));
+    }
+
+    #[test]
+    fn empty_registry_exports_compact_empties() {
+        let json = Registry::new().snapshot().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"events\": []"));
+    }
+
+    #[test]
+    fn snapshot_accessors_find_metrics() {
+        let s = populated().snapshot();
+        assert_eq!(s.counter("a.count"), Some(1));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.histogram("acts").unwrap().count, 2);
+        assert_eq!(s.events_of_kind("kind.a").count(), 1);
+    }
+
+    #[test]
+    fn non_finite_gauges_export_as_null() {
+        let r = Registry::new();
+        r.gauge("bad").set(f64::NAN);
+        assert!(r.snapshot().to_json().contains("\"bad\": null"));
+    }
+}

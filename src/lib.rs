@@ -12,7 +12,9 @@
 //! * [`faults`] — seeded bit-flip injection and ABFT fault campaigns,
 //! * [`perf`] — the analytical GPU cost model,
 //! * [`metrics`] — reliability metrics and Pareto tools,
-//! * [`calibration`] — temperature scaling.
+//! * [`calibration`] — temperature scaling,
+//! * [`obs`] — the observability substrate (counters, span timers,
+//!   event log) every hot path reports into.
 //!
 //! ## Example
 //!
@@ -35,6 +37,7 @@ pub use pgmr_datasets as datasets;
 pub use pgmr_faults as faults;
 pub use pgmr_metrics as metrics;
 pub use pgmr_nn as nn;
+pub use pgmr_obs as obs;
 pub use pgmr_perf as perf;
 pub use pgmr_precision as precision;
 pub use pgmr_preprocess as preprocess;
