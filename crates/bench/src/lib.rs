@@ -92,7 +92,9 @@ pub struct BenchmarkComparison {
 impl BenchmarkComparison {
     /// Normalized FP of a variant: `fp / org_fp` (1.0 = no improvement).
     pub fn normalized(&self, fp: f64) -> f64 {
+        // pgmr-lint: allow(float-eq): exact-zero guard before division — any nonzero baseline takes the normal path
         if self.org_fp == 0.0 {
+            // pgmr-lint: allow(float-eq): 0/0 normalized FP is defined as 1.0; only an exactly-zero count qualifies
             if fp == 0.0 {
                 1.0
             } else {

@@ -424,7 +424,7 @@ static CACHE_DIR_OVERRIDE: std::sync::Mutex<Option<PathBuf>> = std::sync::Mutex:
 /// Tests that need an isolated cache should use this instead of
 /// `std::env::set_var`.
 pub fn set_cache_dir(dir: Option<PathBuf>) {
-    *CACHE_DIR_OVERRIDE.lock().unwrap() = dir;
+    *CACHE_DIR_OVERRIDE.lock().expect("cache-dir override mutex poisoned") = dir;
 }
 
 /// Overrides the worker-thread count of the workspace's shared pool,
@@ -449,7 +449,9 @@ pub fn configured_threads() -> usize {
 /// `<workspace>/target/pgmr-model-cache` (falling back to the OS temp dir
 /// when `CARGO_MANIFEST_DIR` is unavailable).
 pub fn cache_dir() -> PathBuf {
-    if let Some(dir) = CACHE_DIR_OVERRIDE.lock().unwrap().as_ref() {
+    if let Some(dir) =
+        CACHE_DIR_OVERRIDE.lock().expect("cache-dir override mutex poisoned").as_ref()
+    {
         return dir.clone();
     }
     if let Ok(dir) = std::env::var("PGMR_CACHE_DIR") {

@@ -11,17 +11,11 @@ use pgmr_nn::pool::{shard_ranges, WorkerPool};
 use pgmr_tensor::argmax;
 use pgmr_tensor::checksum::{ChecksumFault, DEFAULT_TOLERANCE};
 use pgmr_tensor::Tensor;
-use std::time::Instant;
 
 /// Times one un-guarded member forward pass into the per-member latency
 /// histogram `infer.forward_ns.m{index}`.
 fn timed_predict(member: &mut Member, index: usize, image: &Tensor) -> Vec<f32> {
-    let start = Instant::now();
-    let probs = member.predict(image);
-    pgmr_obs::global()
-        .timer(&format!("infer.forward_ns.m{index}"))
-        .record_duration(start.elapsed());
-    probs
+    pgmr_obs::global().timer(&format!("infer.forward_ns.m{index}")).time(|| member.predict(image))
 }
 
 /// Tallies one emitted verdict into the reliable/unreliable counters.
@@ -284,15 +278,11 @@ impl PolygraphSystem {
                 .map(|(m, member)| {
                     move || {
                         let timer = pgmr_obs::global().timer(&format!("infer.forward_ns.m{m}"));
-                        let mut start = Instant::now();
-                        let mut result = member.predict_checked(image, tol);
-                        timer.record_duration(start.elapsed());
+                        let mut result = timer.time(|| member.predict_checked(image, tol));
                         let mut retried = 0;
                         while result.is_err() && retried < retries {
                             retried += 1;
-                            start = Instant::now();
-                            result = member.predict_checked(image, tol);
-                            timer.record_duration(start.elapsed());
+                            result = timer.time(|| member.predict_checked(image, tol));
                         }
                         (m, result, retried)
                     }

@@ -1,0 +1,171 @@
+//! Inline suppressions: `pgmr-lint: allow(rule-id): <reason>` line
+//! comments, with a mandatory reason and unused-allow detection.
+//!
+//! A directive suppresses diagnostics of exactly one rule on its target
+//! line — the comment's own line when it trails code, otherwise the next
+//! line that carries code. A directive that suppresses nothing is itself
+//! reported (`unused-allow`), as is a malformed one (`invalid-allow`):
+//! unknown rule id, missing reason, or unparseable syntax. The meta
+//! rules cannot be suppressed.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Lexed;
+use crate::rules::RULE_IDS;
+
+/// One parsed, well-formed suppression directive.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    line: usize,
+    column: usize,
+    target_line: usize,
+    used: bool,
+}
+
+/// The directive marker inside a line comment (after stripping doc
+/// slashes and leading whitespace).
+const MARKER: &str = "pgmr-lint:";
+
+/// Applies every suppression directive in `lexed` to `diags`, removing
+/// suppressed findings and appending `unused-allow` / `invalid-allow`
+/// findings for directives that miss or fail to parse.
+pub fn apply(relpath: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    let mut allows: Vec<Allow> = Vec::new();
+    for comment in &lexed.comments {
+        // Doc comments arrive as `/ …` or `! …`; strip to the payload.
+        let payload = comment.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = payload.strip_prefix(MARKER) else { continue };
+        let column = 1 + comment.text.len() - comment.text.trim_start().len();
+        match parse_directive(rest.trim_start()) {
+            Ok(rule) => allows.push(Allow {
+                rule,
+                line: comment.line,
+                column,
+                target_line: target_line(lexed, comment.line),
+                used: false,
+            }),
+            Err(why) => diags.push(Diagnostic {
+                file: relpath.to_string(),
+                line: comment.line,
+                column,
+                rule: "invalid-allow",
+                message: why,
+            }),
+        }
+    }
+    diags.retain(|d| {
+        let suppressed = allows
+            .iter_mut()
+            .find(|a| a.rule == d.rule && a.target_line == d.line)
+            .map(|a| a.used = true)
+            .is_some();
+        !suppressed
+    });
+    for a in allows {
+        if !a.used {
+            diags.push(Diagnostic {
+                file: relpath.to_string(),
+                line: a.line,
+                column: a.column,
+                rule: "unused-allow",
+                message: format!(
+                    "allow({}) suppresses nothing on line {} — remove it or fix the target",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+}
+
+/// Parses `allow(rule-id): reason` (the part after the marker).
+fn parse_directive(rest: &str) -> Result<String, String> {
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(rule-id): <reason>` after the pgmr-lint marker".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` — expected `allow(rule-id): <reason>`".to_string());
+    };
+    let rule = rest[..close].trim();
+    if !RULE_IDS.contains(&rule) {
+        return Err(format!(
+            "unknown rule `{rule}` — suppressible rules are: {}",
+            RULE_IDS.join(", ")
+        ));
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "allow({rule}) requires a reason: `allow({rule}): <why this is sound>`"
+        ));
+    }
+    Ok(rule.to_string())
+}
+
+/// The line a directive on `comment_line` governs: its own line when
+/// code precedes the comment there, else the next line carrying code.
+fn target_line(lexed: &Lexed, comment_line: usize) -> usize {
+    if lexed.tokens.iter().any(|t| t.line == comment_line) {
+        return comment_line;
+    }
+    lexed.tokens.iter().map(|t| t.line).filter(|&l| l > comment_line).min().unwrap_or(comment_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{run_all, FileContext};
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let ctx = FileContext::new("crates/x/src/lib.rs", &lexed);
+        let mut diags = run_all(&ctx);
+        apply("crates/x/src/lib.rs", &lexed, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn allow_above_suppresses_next_code_line() {
+        let src = "pub fn f(x: f32) -> bool {\n    // pgmr-lint: allow(float-eq): exact sentinel value\n    x == 1.0\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_its_own_line() {
+        let src =
+            "pub fn f(x: f32) -> bool { x == 1.0 } // pgmr-lint: allow(float-eq): exact sentinel\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_invalid() {
+        let src = "// pgmr-lint: allow(float-eq)\npub fn f(x: f32) -> bool { x == 1.0 }\n";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 2, "violation stays, directive reported: {diags:?}");
+        assert!(diags.iter().any(|d| d.rule == "invalid-allow"));
+        assert!(diags.iter().any(|d| d.rule == "float-eq"));
+    }
+
+    #[test]
+    fn unknown_rule_is_invalid() {
+        let diags = lint("// pgmr-lint: allow(no-such-rule): because\npub fn f() {}\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "invalid-allow");
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let diags = lint("// pgmr-lint: allow(float-eq): stale reason\npub fn f() {}\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn allow_only_covers_its_rule() {
+        let src = "pub fn f(x: f32) -> bool {\n    // pgmr-lint: allow(wall-clock): wrong rule\n    x == 1.0\n}\n";
+        let diags = lint(src);
+        assert!(diags.iter().any(|d| d.rule == "float-eq"));
+        assert!(diags.iter().any(|d| d.rule == "unused-allow"));
+    }
+}

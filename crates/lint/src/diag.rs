@@ -1,0 +1,136 @@
+//! Diagnostics, their human rendering, and the machine-readable JSON
+//! report (hand-rolled, matching the workspace's no-dependency JSON
+//! style in `pgmr-obs`).
+
+use std::fmt;
+
+/// One finding: a rule fired at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// The rule id (`float-eq`, `unused-allow`, …).
+    pub rule: &'static str,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.column, self.rule, self.message)
+    }
+}
+
+/// The result of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (file, line, column, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Canonical ordering so output is byte-stable run to run.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
+        });
+    }
+
+    /// The machine-readable report: `{"version":1,"files_scanned":N,
+    /// "diagnostics":[{…}]}` with diagnostics in canonical order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 128);
+        out.push_str("{\"version\":1,\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"file\":");
+            push_json_str(&mut out, &d.file);
+            out.push_str(",\"line\":");
+            out.push_str(&d.line.to_string());
+            out.push_str(",\"column\":");
+            out.push_str(&d.column.to_string());
+            out.push_str(",\"rule\":");
+            push_json_str(&mut out, d.rule);
+            out.push_str(",\"message\":");
+            push_json_str(&mut out, &d.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_col_rule_message() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            column: 3,
+            rule: "float-eq",
+            message: "exact float comparison".into(),
+        };
+        assert_eq!(d.to_string(), "crates/x/src/lib.rs:7:3: float-eq: exact float comparison");
+    }
+
+    #[test]
+    fn json_escapes_and_sorts() {
+        let mut report = LintReport {
+            diagnostics: vec![
+                Diagnostic {
+                    file: "b.rs".into(),
+                    line: 1,
+                    column: 1,
+                    rule: "float-eq",
+                    message: "say \"no\"".into(),
+                },
+                Diagnostic {
+                    file: "a.rs".into(),
+                    line: 2,
+                    column: 1,
+                    rule: "wall-clock",
+                    message: "tick".into(),
+                },
+            ],
+            files_scanned: 2,
+        };
+        report.sort();
+        let json = report.to_json();
+        assert!(json.starts_with("{\"version\":1,\"files_scanned\":2,"));
+        assert!(json.contains("say \\\"no\\\""));
+        let a = json.find("a.rs").expect("a.rs present");
+        let b = json.find("b.rs").expect("b.rs present");
+        assert!(a < b, "diagnostics must be sorted by file");
+    }
+}

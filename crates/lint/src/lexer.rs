@@ -1,0 +1,468 @@
+//! A hand-rolled Rust lexer: comment-, string-, and lifetime-aware.
+//!
+//! The rules in [`crate::rules`] are lexical, so the only hard
+//! requirement on this lexer is that it never mistakes quoted or
+//! commented text for code (a `"unwrap()"` inside a string literal must
+//! not trip the panic-hygiene rule) and never mistakes a lifetime for the
+//! start of a char literal (`&'a str` must not swallow the rest of the
+//! file into one bogus token). It handles nested block comments, raw and
+//! byte strings, raw identifiers, numeric suffixes, and float literals in
+//! all their `1.`, `1.0`, `1e-3`, `2.0f32` spellings.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `f32`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinct from [`TokenKind::Char`].
+    Lifetime,
+    /// An integer literal, including its suffix (`42`, `0xff`, `3usize`).
+    Int,
+    /// A float literal, including its suffix (`1.0`, `1e-3`, `2.5f32`).
+    Float,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`). The
+    /// token text is the *contents*, without quotes or prefix.
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation; multi-char operators arrive fused (`==`, `!=`, `::`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind::Str`] for the string caveat).
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in chars).
+    pub col: usize,
+}
+
+/// One `//` line comment (block comments are skipped — suppression
+/// directives are line comments by definition).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Everything after the leading `//`, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// The lexer's output: the token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-trivia tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Two-char operators the rules care about arriving fused. Everything
+/// else may lex as single chars — the rules only match on these.
+const FUSED_OPS: &[&str] = &["==", "!=", "::", "->", "=>", "<=", ">=", "&&", "||", ".."];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and line comments. Never fails: unrecognized
+/// bytes become single-char [`TokenKind::Punct`] tokens, and an
+/// unterminated literal simply ends at EOF.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { chars: src.chars().collect(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.comments.push(Comment { text, line });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            '"' => {
+                let text = scan_string(&mut cur);
+                out.tokens.push(Token { kind: TokenKind::Str, text, line, col });
+            }
+            '\'' => scan_quote(&mut cur, &mut out, line, col),
+            _ if c.is_ascii_digit() => {
+                let (kind, text) = scan_number(&mut cur);
+                out.tokens.push(Token { kind, text, line, col });
+            }
+            _ if is_ident_start(c) => {
+                let ident = scan_ident(&mut cur);
+                if !scan_prefixed_literal(&mut cur, &mut out, &ident, line, col) {
+                    out.tokens.push(Token { kind: TokenKind::Ident, text: ident, line, col });
+                }
+            }
+            _ => {
+                let mut text = String::new();
+                text.push(c);
+                cur.bump();
+                if let Some(next) = cur.peek(0) {
+                    let mut fused = text.clone();
+                    fused.push(next);
+                    if FUSED_OPS.contains(&fused.as_str()) {
+                        cur.bump();
+                        text = fused;
+                    }
+                }
+                out.tokens.push(Token { kind: TokenKind::Punct, text, line, col });
+            }
+        }
+    }
+    out
+}
+
+fn scan_ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        s.push(c);
+        cur.bump();
+    }
+    s
+}
+
+/// A plain `"…"` string body (opening quote still pending).
+fn scan_string(cur: &mut Cursor) -> String {
+    cur.bump(); // opening quote
+    let mut s = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                s.push(c);
+                if let Some(escaped) = cur.bump() {
+                    s.push(escaped);
+                }
+            }
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+/// A `r#*"…"#*` raw-string body (prefix consumed, cursor at `#` or `"`).
+fn scan_raw_string(cur: &mut Cursor) -> String {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let mut s = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for ahead in 0..hashes {
+                if cur.peek(ahead) != Some('#') {
+                    s.push(c);
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        s.push(c);
+    }
+    s
+}
+
+/// Resolves `'…` into a lifetime or a char literal.
+fn scan_quote(cur: &mut Cursor, out: &mut Lexed, line: usize, col: usize) {
+    cur.bump(); // the quote
+    let next = cur.peek(0);
+    let is_lifetime = match next {
+        // `'a` / `'static`: ident chars NOT closed by a quote right after
+        // a single char (`'a'` is a char literal, `'ab` can only be a
+        // lifetime since `'ab'` is not legal Rust).
+        Some(c) if is_ident_start(c) => cur.peek(1) != Some('\''),
+        _ => false,
+    };
+    if is_lifetime {
+        let name = scan_ident(cur);
+        out.tokens.push(Token { kind: TokenKind::Lifetime, text: format!("'{name}"), line, col });
+        return;
+    }
+    // Char literal: consume until the unescaped closing quote.
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\'' => break,
+            '\\' => {
+                text.push(c);
+                if let Some(escaped) = cur.bump() {
+                    text.push(escaped);
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    out.tokens.push(Token { kind: TokenKind::Char, text, line, col });
+}
+
+/// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, and raw idents
+/// (`r#match`). Returns true when `ident` was a literal prefix and the
+/// literal token has been pushed.
+fn scan_prefixed_literal(
+    cur: &mut Cursor,
+    out: &mut Lexed,
+    ident: &str,
+    line: usize,
+    col: usize,
+) -> bool {
+    match (ident, cur.peek(0)) {
+        ("r" | "br" | "b", Some('"')) => {
+            let text = if ident == "b" { scan_string(cur) } else { scan_raw_string(cur) };
+            out.tokens.push(Token { kind: TokenKind::Str, text, line, col });
+            true
+        }
+        ("r" | "br", Some('#')) if cur.peek(1) == Some('"') || cur.peek(1) == Some('#') => {
+            let text = scan_raw_string(cur);
+            out.tokens.push(Token { kind: TokenKind::Str, text, line, col });
+            true
+        }
+        ("r", Some('#')) => {
+            // Raw identifier `r#while`: emit as a plain ident.
+            cur.bump();
+            let name = scan_ident(cur);
+            out.tokens.push(Token { kind: TokenKind::Ident, text: name, line, col });
+            true
+        }
+        ("b", Some('\'')) => {
+            scan_quote(cur, out, line, col);
+            true
+        }
+        _ => false,
+    }
+}
+
+fn scan_number(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        // Radix literal: digits, underscores, hex letters, suffix.
+        while let Some(c) = cur.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        return (TokenKind::Int, text);
+    }
+    while let Some(c) = cur.peek(0) {
+        if !c.is_ascii_digit() && c != '_' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    // A fractional part — but `1..n` is a range and `1.max(2)` a method
+    // call, so the dot only joins the number when what follows cannot
+    // start a new token chain.
+    if cur.peek(0) == Some('.') {
+        let after = cur.peek(1);
+        let is_fraction = match after {
+            Some('.') => false,
+            Some(c) if is_ident_start(c) => false,
+            _ => true,
+        };
+        if is_fraction {
+            float = true;
+            text.push('.');
+            cur.bump();
+            while let Some(c) = cur.peek(0) {
+                if !c.is_ascii_digit() && c != '_' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    // Exponent (`1e5`, `2.5E-3`).
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (a, b) = (cur.peek(1), cur.peek(2));
+        let exp = match a {
+            Some(d) if d.is_ascii_digit() => true,
+            Some('+' | '-') => matches!(b, Some(d) if d.is_ascii_digit()),
+            _ => false,
+        };
+        if exp {
+            float = true;
+            text.push(cur.bump().expect("peeked exponent marker"));
+            while let Some(c) = cur.peek(0) {
+                if !c.is_ascii_digit() && c != '+' && c != '-' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix (`f32`, `usize`); a float suffix forces Float.
+    if matches!(cur.peek(0), Some(c) if is_ident_start(c)) {
+        let suffix = scan_ident(cur);
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+    }
+    (if float { TokenKind::Float } else { TokenKind::Int }, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = "let s = \"x.unwrap()\"; // trailing x.unwrap()\n/* x.unwrap() */ done";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("trailing"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| t.clone()).collect();
+        assert_eq!(chars, vec!["z", "\\n"]);
+    }
+
+    #[test]
+    fn float_spellings() {
+        for src in ["1.0", "0.5", "1e-3", "2.5E3", "2.0f32", "1f64", "1."] {
+            let toks = kinds(src);
+            assert_eq!(toks[0].0, TokenKind::Float, "{src} should lex as float");
+        }
+        for src in ["1", "0xff", "42usize", "1_000"] {
+            let toks = kinds(src);
+            assert_eq!(toks[0].0, TokenKind::Int, "{src} should lex as int");
+        }
+    }
+
+    #[test]
+    fn ranges_and_method_calls_are_not_floats() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1], (TokenKind::Punct, "..".to_string()));
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "max".to_string()));
+    }
+
+    #[test]
+    fn fused_operators() {
+        let toks = kinds("a == b != c :: d");
+        let puncts: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Punct).map(|(_, t)| t.clone()).collect();
+        assert_eq!(puncts, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r####"let a = r#"x == 1.0"#; let b = b"y.unwrap()";"####);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.clone()).collect();
+        assert_eq!(strs, vec!["x == 1.0", "y.unwrap()"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("before /* outer /* inner */ still */ after");
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t.clone()).collect();
+        assert_eq!(idents, vec!["before", "after"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

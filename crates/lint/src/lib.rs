@@ -1,0 +1,121 @@
+//! `pgmr-lint` — the workspace invariant checker.
+//!
+//! PolygraphMR's headline numbers (false-positive detection rates, RADE
+//! exit statistics, byte-identical deterministic snapshots across seeded
+//! runs) rest on invariants no type checker enforces: no exact float
+//! comparisons, no wall-clock reads outside the observability layer, no
+//! threads outside the shared pool, no panics without diagnostics in
+//! library code, no unordered iteration feeding an export, no atomic
+//! operation with its `Ordering` hidden behind a variable. This crate
+//! checks all of them mechanically: a hand-rolled comment/string/
+//! lifetime-aware lexer ([`lexer`]), six lexical rules ([`rules`]), an
+//! inline-suppression layer with mandatory reasons ([`allow`]), and a
+//! CLI (`cargo run -p pgmr-lint -- --workspace --deny`) that walks every
+//! workspace `.rs` file and emits `file:line:col` diagnostics plus a
+//! machine-readable JSON report ([`diag`]).
+//!
+//! See `DESIGN.md` §4c for the rule table, the suppression syntax, and
+//! how to add a rule.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Diagnostic, LintReport};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source under a given workspace-relative path (the
+/// path drives the path-scoped rules, so tests can lint fixture text
+/// under any virtual location).
+pub fn lint_source(relpath: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let ctx = rules::FileContext::new(relpath, &lexed);
+    let mut diags = rules::run_all(&ctx);
+    allow::apply(relpath, &lexed, &mut diags);
+    diags
+}
+
+/// Directory names never descended into: build output, VCS metadata,
+/// the offline dependency stand-ins under `compat/` (they mirror
+/// external crates' APIs, not workspace invariants), and lint fixtures
+/// (which exist to violate the rules on purpose).
+const SKIP_DIRS: &[&str] = &["target", "compat", "fixtures"];
+
+/// Every workspace `.rs` file under `root`, sorted, with skip dirs
+/// ([`SKIP_DIRS`] and dot-dirs) pruned.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !name.starts_with('.') && !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in workspace_files(root)? {
+        let source = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        report.diagnostics.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Ascends from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]` — the root the CLI lints by default.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_end_to_end() {
+        let src = "pub fn f(x: f32) -> bool { x == 0.0 }\n";
+        let diags = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "float-eq");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates").is_dir());
+    }
+}

@@ -1,0 +1,123 @@
+//! The `pgmr-lint` CLI.
+//!
+//! ```text
+//! cargo run -p pgmr-lint -- --workspace --deny --json target/pgmr-lint.json
+//! ```
+//!
+//! Flags:
+//! - `--workspace` lint every `.rs` file from the workspace root
+//!   (default when no paths are given)
+//! - `--root <dir>`     override the root to walk
+//! - `--deny`           exit nonzero when any diagnostic remains
+//! - `--json <path|->`  write the machine-readable report (`-` = stdout)
+//! - `<paths…>`         lint specific files or directories instead
+//!
+//! Diagnostics print to stdout as `file:line:col: rule: message`; the
+//! summary line goes last. Without `--deny` the exit code is 0 even with
+//! findings (report-only mode for local iteration).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pgmr_lint::{find_workspace_root, lint_workspace, LintReport};
+
+struct Args {
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+    deny: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: None, paths: Vec::new(), deny: false, json: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => {} // the default; accepted for explicitness
+            "--deny" => args.deny = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory argument")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json requires a path argument (or `-`)")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: pgmr-lint [--workspace] [--root <dir>] [--deny] [--json <path|->] [paths…]"
+                    .to_string());
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(LintReport, bool), String> {
+    let args = parse_args()?;
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+    let root = match args.root {
+        Some(root) => root,
+        None => find_workspace_root(&cwd)
+            .ok_or("no workspace root found above the current directory (pass --root)")?,
+    };
+    let report = if args.paths.is_empty() {
+        lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?
+    } else {
+        let mut report = LintReport::default();
+        for path in &args.paths {
+            let full = if path.is_absolute() { path.clone() } else { cwd.join(path) };
+            let files = if full.is_dir() {
+                pgmr_lint::workspace_files(&full)
+                    .map_err(|e| format!("walking {}: {e}", full.display()))?
+            } else {
+                vec![full]
+            };
+            for file in files {
+                let source = std::fs::read_to_string(&file)
+                    .map_err(|e| format!("reading {}: {e}", file.display()))?;
+                let rel = file.strip_prefix(&root).unwrap_or(&file);
+                let rel = rel.to_string_lossy().replace('\\', "/");
+                report.diagnostics.extend(pgmr_lint::lint_source(&rel, &source));
+                report.files_scanned += 1;
+            }
+        }
+        report.sort();
+        report
+    };
+    if let Some(json) = &args.json {
+        let body = report.to_json();
+        if json == "-" {
+            println!("{body}");
+        } else {
+            std::fs::write(json, body).map_err(|e| format!("writing {json}: {e}"))?;
+        }
+    }
+    Ok((report, args.deny))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok((report, deny)) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            println!(
+                "pgmr-lint: {} diagnostic{} across {} file{}",
+                report.diagnostics.len(),
+                if report.diagnostics.len() == 1 { "" } else { "s" },
+                report.files_scanned,
+                if report.files_scanned == 1 { "" } else { "s" },
+            );
+            if deny && !report.diagnostics.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(message) => {
+            eprintln!("pgmr-lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the `bare-atomic` rule fires on atomic-shaped calls whose
+//! argument list never names `Ordering`, whether the ordering came from
+//! a variable or a glob import.
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn ordering_from_variable(a: &AtomicU64, order: Ordering) -> u64 {
+    a.load(order)
+}
+
+pub fn ordering_from_glob_import(a: &AtomicU64) {
+    a.store(1, Relaxed);
+    a.fetch_add(2, Relaxed);
+}
+
+pub fn explicit_ordering_is_fine(a: &AtomicU64) -> u64 {
+    a.fetch_add(1, Ordering::Relaxed);
+    a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).unwrap_or(0);
+    a.load(Ordering::SeqCst)
+}

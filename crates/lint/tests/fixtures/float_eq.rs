@@ -1,0 +1,36 @@
+//! Fixture: the `float-eq` rule fires on `==`/`!=` with float operands,
+//! in library and test code alike, but not on epsilon comparisons.
+
+pub fn literal_right(x: f32) -> bool {
+    x == 0.0
+}
+
+pub fn literal_left(x: f64) -> bool {
+    1.5 != x
+}
+
+pub fn associated_const(x: f32) -> bool {
+    x == f32::EPSILON
+}
+
+pub fn epsilon_compare_is_fine(x: f32) -> bool {
+    (x - 1.0).abs() < 1e-6
+}
+
+pub fn int_compare_is_fine(n: usize) -> bool {
+    n == 0
+}
+
+pub fn string_is_fine() -> &'static str {
+    "x == 1.0"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_fires_in_tests() {
+        assert!(super::literal_right(0.0) == true);
+        let y = 2.0_f32;
+        let _ = y != 2.0;
+    }
+}

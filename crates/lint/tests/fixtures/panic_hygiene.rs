@@ -1,0 +1,32 @@
+//! Fixture: the `panic-hygiene` rule fires on `.unwrap()` and
+//! `.expect("")` in library code, and stays quiet in `#[cfg(test)]`
+//! modules and on `expect` calls that carry a real message.
+
+pub fn bare_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn empty_expect(x: Option<u8>) -> u8 {
+    x.expect("")
+}
+
+pub fn expect_with_message_is_fine(x: Option<u8>) -> u8 {
+    x.expect("caller guarantees a value here")
+}
+
+pub fn unwrap_or_is_fine(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+pub fn string_is_fine() -> &'static str {
+    "please do not .unwrap() this"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(3).unwrap(), 3);
+        let _ = Some(4).expect("");
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: the `stray-spawn` rule fires on `thread::spawn` and on
+//! `.spawn(…)` method calls, everywhere outside `pgmr_nn::pool` —
+//! including test modules, since a test thread dodges the pool's panic
+//! capture just the same.
+
+pub fn raw_spawn() {
+    std::thread::spawn(|| {});
+}
+
+pub fn builder_spawn() {
+    let _ = std::thread::Builder::new().spawn(|| {});
+}
+
+pub fn spawn_as_plain_name_is_fine() {
+    fn spawn() {}
+    spawn();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_threads_count_too() {
+        std::thread::spawn(|| {});
+    }
+}

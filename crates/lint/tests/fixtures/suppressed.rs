@@ -1,0 +1,34 @@
+//! Fixture: every rule silenced by a well-formed suppression — one
+//! comment-above, one trailing — so the golden output is empty.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+pub fn suppressed_float(x: f32) -> bool {
+    // pgmr-lint: allow(float-eq): sentinel value is assigned, never computed
+    x == 1.0
+}
+
+pub fn suppressed_trailing(x: f64) -> bool {
+    x != 0.0 // pgmr-lint: allow(float-eq): exact-zero guard before division
+}
+
+pub fn suppressed_clock() {
+    // pgmr-lint: allow(wall-clock): fixture demonstrates a justified local timer
+    let _ = Instant::now();
+}
+
+pub fn suppressed_spawn() {
+    // pgmr-lint: allow(stray-spawn): fixture thread never joins the pool on purpose
+    std::thread::spawn(|| {});
+}
+
+pub fn suppressed_unwrap(x: Option<u8>) -> u8 {
+    // pgmr-lint: allow(panic-hygiene): fixture value is constructed Some two lines up
+    x.unwrap()
+}
+
+pub fn suppressed_atomic(a: &AtomicU64, order: Ordering) -> u64 {
+    // pgmr-lint: allow(bare-atomic): ordering is threaded through by the caller
+    a.load(order)
+}

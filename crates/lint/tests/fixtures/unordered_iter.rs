@@ -1,0 +1,22 @@
+//! Fixture: the `unordered-iter` rule fires on `HashMap`/`HashSet` in
+//! files on an export surface. The golden test lints this file under a
+//! `…/snapshot_export.rs` virtual path (diagnostics) and under a plain
+//! math-module path (clean).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn to_json(map: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in map {
+        out.push_str(&format!("{k}={v},"));
+    }
+    out
+}
+
+pub fn seen() -> HashSet<u64> {
+    HashSet::new()
+}
+
+pub fn ordered_is_fine(map: &BTreeMap<String, u64>) -> usize {
+    map.len()
+}

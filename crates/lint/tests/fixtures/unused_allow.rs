@@ -1,0 +1,23 @@
+//! Fixture: the meta rules — an allow that suppresses nothing, an allow
+//! missing its reason, an allow naming an unknown rule, and an allow
+//! aimed at the wrong rule (which leaves the real finding standing).
+
+pub fn clean_target() -> u32 {
+    // pgmr-lint: allow(float-eq): stale — the comparison was removed last refactor
+    41 + 1
+}
+
+pub fn missing_reason(x: f32) -> bool {
+    // pgmr-lint: allow(float-eq)
+    x == 1.0
+}
+
+pub fn unknown_rule() -> u32 {
+    // pgmr-lint: allow(no-such-rule): confidently wrong
+    7
+}
+
+pub fn wrong_rule(x: f32) -> bool {
+    // pgmr-lint: allow(wall-clock): aimed at the wrong rule entirely
+    x == 2.0
+}

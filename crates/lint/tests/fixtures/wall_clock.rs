@@ -1,0 +1,15 @@
+//! Fixture: the `wall-clock` rule fires on raw clock reads. The golden
+//! test lints this file twice — under a core path (diagnostics) and
+//! under `crates/obs/` (clean), exercising the path exemption.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub fn timestamp() -> u128 {
+    let start = Instant::now();
+    let _ = start;
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos()).unwrap_or(0)
+}
+
+pub fn instant_as_type_is_fine(t: Instant) -> Instant {
+    t
+}

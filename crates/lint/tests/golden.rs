@@ -1,0 +1,135 @@
+//! Fixture-based golden tests: each rule demonstrated firing and being
+//! suppressed, with the rendered diagnostics pinned byte-for-byte in
+//! `tests/fixtures/*.expected`.
+//!
+//! Fixtures are linted under *virtual* paths: path-scoped rules
+//! (wall-clock's obs/bench exemption, unordered-iter's export markers,
+//! panic-hygiene's test-file exemption) key off the workspace-relative
+//! path, and the fixtures live under `tests/fixtures/` where the real
+//! walker never looks (they violate the rules on purpose).
+//!
+//! To update after an intentional rule change:
+//! `PGMR_LINT_REGEN=1 cargo test -p pgmr-lint --test golden`
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pgmr_lint::{lint_source, LintReport};
+
+/// (fixture file, virtual workspace path it is linted under).
+const CASES: &[(&str, &str)] = &[
+    ("float_eq.rs", "crates/virt/src/float_eq.rs"),
+    ("wall_clock.rs", "crates/virt/src/wall_clock.rs"),
+    ("stray_spawn.rs", "crates/virt/src/stray_spawn.rs"),
+    ("panic_hygiene.rs", "crates/virt/src/panic_hygiene.rs"),
+    ("unordered_iter.rs", "crates/virt/src/snapshot_export.rs"),
+    ("bare_atomic.rs", "crates/virt/src/bare_atomic.rs"),
+    ("suppressed.rs", "crates/virt/src/suppressed.rs"),
+    ("unused_allow.rs", "crates/virt/src/unused_allow.rs"),
+];
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+fn rendered(fixture: &str, virtual_path: &str) -> String {
+    let src = fs::read_to_string(fixtures_dir().join(fixture)).expect("fixture readable");
+    let mut report = LintReport { diagnostics: lint_source(virtual_path, &src), files_scanned: 1 };
+    report.sort();
+    let mut out: String = report.diagnostics.iter().map(|d| d.to_string() + "\n").collect();
+    if out.is_empty() {
+        out.push_str("(clean)\n");
+    }
+    out
+}
+
+#[test]
+fn golden_outputs_match() {
+    let regen = std::env::var("PGMR_LINT_REGEN").is_ok();
+    let mut failures = Vec::new();
+    for (fixture, virtual_path) in CASES {
+        let got = rendered(fixture, virtual_path);
+        let expected_path = fixtures_dir().join(fixture.replace(".rs", ".expected"));
+        if regen {
+            fs::write(&expected_path, &got).expect("write .expected");
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!("{} missing — run with PGMR_LINT_REGEN=1", expected_path.display())
+        });
+        if got != want {
+            failures.push(format!(
+                "=== {fixture} (as {virtual_path}) ===\n--- got ---\n{got}--- want ---\n{want}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "golden mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn every_rule_both_fires_and_suppresses() {
+    // The acceptance contract: each rule demonstrated firing somewhere in
+    // the fixtures, and suppressed (with a reason) in suppressed.rs.
+    let mut fired: Vec<&str> = Vec::new();
+    for (fixture, virtual_path) in CASES {
+        let src = fs::read_to_string(fixtures_dir().join(fixture)).expect("fixture readable");
+        for d in lint_source(virtual_path, &src) {
+            fired.push(d.rule);
+        }
+    }
+    for rule in pgmr_lint::rules::RULE_IDS {
+        assert!(fired.contains(rule), "rule {rule} never fires in the fixtures");
+    }
+    for meta in ["unused-allow", "invalid-allow"] {
+        assert!(fired.contains(&meta), "meta rule {meta} never fires in the fixtures");
+    }
+    let src = fs::read_to_string(fixtures_dir().join("suppressed.rs")).expect("fixture readable");
+    assert!(
+        lint_source("crates/virt/src/suppressed.rs", &src).is_empty(),
+        "suppressed.rs must lint clean — every allow consumed, every reason present"
+    );
+}
+
+#[test]
+fn path_exemptions_hold() {
+    let clock = fs::read_to_string(fixtures_dir().join("wall_clock.rs")).expect("fixture");
+    assert!(
+        lint_source("crates/obs/src/wall_clock.rs", &clock).is_empty(),
+        "wall-clock must be exempt inside crates/obs"
+    );
+    assert!(
+        lint_source("crates/bench/benches/wall_clock.rs", &clock).is_empty(),
+        "wall-clock must be exempt inside crates/bench"
+    );
+    let unordered = fs::read_to_string(fixtures_dir().join("unordered_iter.rs")).expect("fixture");
+    assert!(
+        lint_source("crates/virt/src/math.rs", &unordered).is_empty(),
+        "unordered-iter must only police export surfaces"
+    );
+    let spawn = fs::read_to_string(fixtures_dir().join("stray_spawn.rs")).expect("fixture");
+    assert!(
+        lint_source("crates/nn/src/pool.rs", &spawn).is_empty(),
+        "stray-spawn must be exempt inside pgmr_nn::pool"
+    );
+    let hygiene = fs::read_to_string(fixtures_dir().join("panic_hygiene.rs")).expect("fixture");
+    assert!(
+        lint_source("crates/virt/tests/panic_hygiene.rs", &hygiene).is_empty(),
+        "panic-hygiene must be exempt in test files"
+    );
+}
+
+#[test]
+fn json_report_round_trips_fixture_diagnostics() {
+    let src = fs::read_to_string(fixtures_dir().join("float_eq.rs")).expect("fixture");
+    let mut report = LintReport {
+        diagnostics: lint_source("crates/virt/src/float_eq.rs", &src),
+        files_scanned: 1,
+    };
+    report.sort();
+    let json = report.to_json();
+    assert!(json.starts_with("{\"version\":1,\"files_scanned\":1,\"diagnostics\":["));
+    assert!(json.contains("\"rule\":\"float-eq\""));
+    assert!(json.contains("\"file\":\"crates/virt/src/float_eq.rs\""));
+    // Every diagnostic surfaced in JSON exactly once.
+    assert_eq!(json.matches("\"rule\":").count(), report.diagnostics.len());
+}

@@ -1,0 +1,24 @@
+//! The workspace gates on its own linter: zero diagnostics over the
+//! whole tree. This is `cargo run -p pgmr-lint -- --workspace --deny`
+//! in test form, so a plain `cargo test` catches a reintroduced float
+//! `==`, stray thread, bare unwrap, or stale allow before CI does.
+
+use pgmr_lint::{find_workspace_root, lint_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — walker broke?",
+        report.files_scanned
+    );
+    let listing: String = report.diagnostics.iter().map(|d| format!("  {d}\n")).collect();
+    assert!(
+        report.diagnostics.is_empty(),
+        "the workspace must lint clean; fix or `pgmr-lint: allow(rule): reason`-annotate:\n{listing}"
+    );
+}

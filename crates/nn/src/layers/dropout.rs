@@ -53,6 +53,7 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        // pgmr-lint: allow(float-eq): p == 0.0 is the exact no-op configuration, not an arithmetic result
         if (!train && !self.mc_mode) || self.p == 0.0 {
             self.mask_cache = None;
             return input.clone();
@@ -110,6 +111,7 @@ mod tests {
         let mut d = Dropout::new(0.5, 2);
         let x = Tensor::filled(vec![1, 10_000], 1.0);
         let y = d.forward(&x, true);
+        // pgmr-lint: allow(float-eq): dropped activations are written as exact 0.0 by the mask
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
         let frac = zeros as f64 / y.len() as f64;
         assert!((frac - 0.5).abs() < 0.05, "drop fraction {frac}");
@@ -135,6 +137,7 @@ mod tests {
         let g = d.backward(&Tensor::ones(vec![1, 32]));
         // Gradient is zero exactly where the forward output is zero.
         for (yv, gv) in y.data().iter().zip(g.data()) {
+            // pgmr-lint: allow(float-eq): the mask writes exact zeros — the gradient must vanish exactly where the output does
             assert_eq!(*yv == 0.0, *gv == 0.0);
         }
     }

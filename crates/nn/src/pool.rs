@@ -46,7 +46,6 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 thread_local! {
     /// The worker's index within its pool, for per-worker utilization
@@ -126,10 +125,12 @@ impl WorkerPool {
         let sender = self.sender.as_ref().expect("pool is live while not dropped");
         for (slot, job) in jobs.into_iter().enumerate() {
             let batch = Arc::clone(&batch);
-            let queued_at = Instant::now();
+            // Started here, finished on the worker: the span's lifetime IS
+            // the queue wait.
+            let queue_span = obs.span("pool.queue_wait_ns");
             let task = move || {
                 let obs = pgmr_obs::global();
-                obs.timer("pool.queue_wait_ns").record_duration(queued_at.elapsed());
+                queue_span.finish();
                 obs.counter("pool.jobs_total").inc();
                 let worker = WORKER_ID.with(Cell::get);
                 if worker != usize::MAX {
@@ -138,8 +139,8 @@ impl WorkerPool {
                 let run_span = obs.span("pool.job_run_ns");
                 let out = catch_unwind(AssertUnwindSafe(job));
                 run_span.finish();
-                batch.results.lock().unwrap()[slot] = Some(out);
-                let mut left = batch.remaining.lock().unwrap();
+                batch.results.lock().expect("pool batch results mutex poisoned")[slot] = Some(out);
+                let mut left = batch.remaining.lock().expect("pool batch countdown mutex poisoned");
                 *left -= 1;
                 if *left == 0 {
                     batch.done.notify_all();
@@ -160,13 +161,14 @@ impl WorkerPool {
             };
             sender.send(task).expect("worker pool accepts jobs while live");
         }
-        let mut left = batch.remaining.lock().unwrap();
+        let mut left = batch.remaining.lock().expect("pool batch countdown mutex poisoned");
         while *left > 0 {
-            left = batch.done.wait(left).unwrap();
+            left = batch.done.wait(left).expect("pool batch countdown mutex poisoned");
         }
         drop(left);
 
-        let slots = std::mem::take(&mut *batch.results.lock().unwrap());
+        let slots =
+            std::mem::take(&mut *batch.results.lock().expect("pool batch results mutex poisoned"));
         let mut out = Vec::with_capacity(n);
         let mut first_panic = None;
         for slot in slots {
@@ -200,7 +202,7 @@ fn worker_loop(index: usize, receiver: &Mutex<Receiver<Job>>) {
     WORKER_ID.with(|id| id.set(index));
     loop {
         // Hold the lock only for the dequeue, not while running the job.
-        let job = match receiver.lock().unwrap().recv() {
+        let job = match receiver.lock().expect("pool job-queue mutex poisoned").recv() {
             Ok(job) => job,
             Err(_) => break, // pool dropped
         };
@@ -219,14 +221,14 @@ static THREAD_OVERRIDE: Mutex<Option<usize>> = Mutex::new(None);
 /// (`PGMR_THREADS`, then the host's available parallelism). Takes effect
 /// on the shared [`global`] pool only if called before its first use.
 pub fn set_thread_override(threads: Option<usize>) {
-    *THREAD_OVERRIDE.lock().unwrap() = threads.map(|t| t.max(1));
+    *THREAD_OVERRIDE.lock().expect("thread-override mutex poisoned") = threads.map(|t| t.max(1));
 }
 
 /// The worker-thread count for new pools: the [`set_thread_override`]
 /// value, else a positive `PGMR_THREADS` environment variable, else the
 /// host's available parallelism (1 when unknown).
 pub fn configured_threads() -> usize {
-    if let Some(t) = *THREAD_OVERRIDE.lock().unwrap() {
+    if let Some(t) = *THREAD_OVERRIDE.lock().expect("thread-override mutex poisoned") {
         return t;
     }
     if let Ok(raw) = std::env::var("PGMR_THREADS") {

@@ -51,7 +51,7 @@ impl EventLog {
     /// Appends an event, evicting the oldest retained one when full.
     /// Returns the event's sequence number.
     pub fn emit(&self, kind: impl Into<String>, detail: impl Into<String>) -> u64 {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().expect("event-log mutex poisoned");
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.events.push_back(Event { seq, kind: kind.into(), detail: detail.into() });
@@ -64,22 +64,22 @@ impl EventLog {
 
     /// Events emitted over the log's lifetime (including evicted ones).
     pub fn emitted(&self) -> u64 {
-        self.inner.lock().unwrap().next_seq
+        self.inner.lock().expect("event-log mutex poisoned").next_seq
     }
 
     /// Events evicted by the retention bound.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        self.inner.lock().expect("event-log mutex poisoned").dropped
     }
 
     /// The retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.lock().unwrap().events.iter().cloned().collect()
+        self.inner.lock().expect("event-log mutex poisoned").events.iter().cloned().collect()
     }
 
     /// Clears the log and restarts sequence numbering (test isolation).
     pub(crate) fn reset(&self) {
-        *self.inner.lock().unwrap() = Inner::default();
+        *self.inner.lock().expect("event-log mutex poisoned") = Inner::default();
     }
 }
 

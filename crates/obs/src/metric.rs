@@ -130,6 +130,20 @@ impl Histogram {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Runs `f`, records its wall-clock duration, and returns its output
+    /// — the closure-shaped counterpart of a [`crate::Span`], for call
+    /// sites that already hold the histogram handle (retry loops, hot
+    /// paths timing several attempts into one metric). This is the
+    /// sanctioned way to time code outside `pgmr-obs`: the workspace
+    /// linter (`pgmr-lint`, rule `wall-clock`) keeps raw `Instant::now`
+    /// reads confined to this crate and the benches.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record_duration(start.elapsed());
+        out
+    }
+
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -216,6 +230,15 @@ mod tests {
                 assert_eq!(Histogram::bucket_index(lo - 1), i - 1, "below bucket {i}");
             }
         }
+    }
+
+    #[test]
+    fn time_records_one_sample_and_returns_the_output() {
+        let h = Histogram::new(Unit::Nanos);
+        let out = h.time(|| 6 * 7);
+        assert_eq!(out, 42);
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() < 1_000_000_000, "timing a multiply claimed >1s");
     }
 
     #[test]

@@ -100,13 +100,13 @@ impl Registry {
     /// Meant for test isolation around the [`global`] registry; callers
     /// must serialize against concurrent instrumented work themselves.
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in self.counters.lock().expect("obs counter registry mutex poisoned").values() {
             c.reset();
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in self.gauges.lock().expect("obs gauge registry mutex poisoned").values() {
             g.reset();
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in self.histograms.lock().expect("obs histogram registry mutex poisoned").values() {
             h.reset();
         }
         self.events.reset();
@@ -118,7 +118,7 @@ fn get_or_create<T>(
     name: &str,
     make: impl FnOnce() -> T,
 ) -> Arc<T> {
-    let mut map = map.lock().unwrap();
+    let mut map = map.lock().expect("obs metric registry mutex poisoned");
     match map.get(name) {
         Some(existing) => Arc::clone(existing),
         None => {
@@ -217,6 +217,7 @@ mod tests {
         let threads: Vec<_> = (0..8)
             .map(|_| {
                 let r = Arc::clone(&r);
+                // pgmr-lint: allow(stray-spawn): pgmr-obs sits below pgmr-nn in the crate DAG, so this concurrency test cannot use pgmr_nn::pool without a dependency cycle; raw threads are the point here — they exercise cross-thread counter atomicity with no pool machinery in between
                 std::thread::spawn(move || {
                     let c = r.counter("shared");
                     for _ in 0..10_000 {

@@ -43,13 +43,21 @@ impl Snapshot {
         histograms: &Mutex<BTreeMap<String, Arc<Histogram>>>,
         events: &EventLog,
     ) -> Self {
-        let counters =
-            counters.lock().unwrap().iter().map(|(name, c)| (name.clone(), c.get())).collect();
-        let gauges =
-            gauges.lock().unwrap().iter().map(|(name, g)| (name.clone(), g.get())).collect();
+        let counters = counters
+            .lock()
+            .expect("obs counter registry mutex poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = gauges
+            .lock()
+            .expect("obs gauge registry mutex poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
         let histograms = histograms
             .lock()
-            .unwrap()
+            .expect("obs histogram registry mutex poisoned")
             .iter()
             .map(|(name, h)| {
                 let buckets = (0..BUCKETS)

@@ -79,6 +79,7 @@ impl Precision {
     /// the operation is idempotent and sign-symmetric.
     pub fn quantize(&self, v: f32) -> f32 {
         let m = self.mantissa_bits();
+        // pgmr-lint: allow(float-eq): exact-zero early-out — quantizing ±0.0 must return it bit-identically
         if m >= 23 || !v.is_finite() || v == 0.0 {
             return v;
         }

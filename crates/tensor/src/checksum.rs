@@ -315,6 +315,7 @@ pub fn checked_gemm(
     c: &mut [f32],
     tolerance: f32,
 ) -> Result<(), ChecksumFault> {
+    // pgmr-lint: allow(float-eq): the precondition is an exactly zeroed output buffer, not an approximately small one
     assert!(c.iter().all(|&v| v == 0.0), "checked_gemm requires a zeroed output");
     let sums = GemmChecksums::for_ab(m, k, n, a, b);
     crate::gemm::gemm(m, k, n, a, b, c);

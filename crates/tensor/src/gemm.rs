@@ -49,6 +49,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
                 let c_row = &mut c[i * n..(i + 1) * n];
                 for p in k0..k_hi {
                     let a_ip = a[i * k + p];
+                    // pgmr-lint: allow(float-eq): exact-zero skip — only a true zero multiplicand may be skipped without changing the result
                     if a_ip == 0.0 {
                         continue;
                     }
@@ -93,6 +94,7 @@ pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
         let a_row = &a[p * m..(p + 1) * m];
         let b_row = &b[p * n..(p + 1) * n];
         for (i, &a_pi) in a_row.iter().enumerate() {
+            // pgmr-lint: allow(float-eq): exact-zero skip — only a true zero multiplicand may be skipped without changing the result
             if a_pi == 0.0 {
                 continue;
             }

@@ -193,6 +193,7 @@ mod quantize_under_faults {
                 prop_assert!(q.is_finite(), "quantize({v}) = {q} at {bits} bits");
                 // The corrupted-then-quantized value is within one
                 // mantissa step of the corrupted value.
+                // pgmr-lint: allow(float-eq): exact-zero guard before relative-error division
                 let rel = if v == 0.0 { 0.0 } else { ((q - v) / v).abs() };
                 prop_assert!(rel <= 1.0 / (1u64 << p.mantissa_bits()) as f32);
             }
