@@ -16,9 +16,18 @@
 //! accounting, verdict tallies). Speedups scale with the host's cores; on
 //! a single-core container every width times out at ~1× and the JSON
 //! records `nproc` so readers can tell.
+//!
+//! The harness also pins the workspace-arena guarantee: a steady-state
+//! per-image inference loop through `Network::forward_into_logits` is
+//! measured under a counting `#[global_allocator]` and must perform **zero**
+//! heap allocations per image (`infer.allocs_per_image` in the JSON,
+//! asserted to be 0), alongside the arena's peak footprint
+//! (`infer.workspace_peak_bytes`, also exported as the
+//! `infer.workspace_bytes` observability gauge).
 
 use std::time::Instant;
 
+use pgmr_bench::alloc_counter::{self, CountingAlloc};
 use pgmr_bench::{banner, scale};
 use pgmr_datasets::Split;
 use pgmr_faults::{run_activation_campaign, run_activation_campaign_with, CampaignConfig};
@@ -29,7 +38,15 @@ use polygraph_mr::ensemble::Ensemble;
 use polygraph_mr::suite::Benchmark;
 use polygraph_mr::system::PolygraphSystem;
 
+/// Counts every heap allocation so the steady-state inference section can
+/// assert the workspace hot path stays allocation-free.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 const POOL_WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// Measured passes over the test set in the zero-alloc inference section.
+const INFER_PASSES: usize = 3;
 
 /// Times `f`, returning (result, items/s) for `items` units of work.
 fn time<T>(items: usize, f: impl FnOnce() -> T) -> (T, f64) {
@@ -64,6 +81,41 @@ fn main() {
         eval_rates.push((width, rate));
     }
 
+    // Steady-state zero-alloc inference: after one warmup pass, per-image
+    // inference through `Network::forward_into_logits` runs entirely out of
+    // the thread-local workspace arena — the counting allocator proves it
+    // by observing zero allocation events across the measured passes.
+    let images = data.images();
+    let infer_net = system.ensemble_mut().members_mut()[0].network_mut();
+    let mut logits = Vec::new();
+    for img in images {
+        infer_net.forward_into_logits(img, &mut logits); // sizes arena + logits
+    }
+    // The allocating reference path over the same images — the "before"
+    // half of the perf note in README.md.
+    let (_, reference_rate) = time(INFER_PASSES * images.len(), || {
+        for _ in 0..INFER_PASSES {
+            for img in images {
+                let _ = infer_net.forward_reference(img, false);
+            }
+        }
+    });
+    let allocs_before = alloc_counter::alloc_events();
+    let (_, infer_rate) = time(INFER_PASSES * images.len(), || {
+        for _ in 0..INFER_PASSES {
+            for img in images {
+                infer_net.forward_into_logits(img, &mut logits);
+            }
+        }
+    });
+    let infer_allocs = alloc_counter::alloc_events() - allocs_before;
+    let allocs_per_image = infer_allocs as f64 / (INFER_PASSES * images.len()) as f64;
+    let ws_peak_bytes = pgmr_nn::workspace::thread_workspace_stats().peak_bytes;
+    assert_eq!(
+        infer_allocs, 0,
+        "steady-state inference must not allocate ({infer_allocs} events over {INFER_PASSES} passes)"
+    );
+
     // Activation-fault campaign over the baseline member's network.
     let inputs: Vec<_> = data.images().iter().take(16).cloned().collect();
     let cfg = CampaignConfig { trials: 200, seed: 2020, rate: 1e-3, ..CampaignConfig::default() };
@@ -84,6 +136,18 @@ fn main() {
     for &(width, rate) in &eval_rates {
         println!("{:>20}x{width} {rate:>14.1} {:>10.2}", "eval", rate / seq_eval_rate);
     }
+    println!("{:>22} {:>14.1} {:>10.2}", "infer reference", reference_rate, 1.0);
+    println!(
+        "{:>22} {:>14.1} {:>10.2}",
+        "infer zero-alloc",
+        infer_rate,
+        infer_rate / reference_rate
+    );
+    println!(
+        "{:>22} allocs/image: {allocs_per_image:.1}   workspace peak: {:.1} KiB",
+        "",
+        ws_peak_bytes as f64 / 1024.0
+    );
     println!("{:>22} {:>14.1} {:>10.2}", "campaign seq", seq_camp_rate, 1.0);
     for &(width, rate) in &camp_rates {
         println!("{:>20}x{width} {rate:>14.1} {:>10.2}", "campaign", rate / seq_camp_rate);
@@ -95,7 +159,7 @@ fn main() {
         format!("{{{}}}", fields.join(", "))
     };
     let json = format!(
-        "{{\n  \"nproc\": {nproc},\n  \"batch_eval\": {{\"items\": {}, \"sequential_items_per_s\": {seq_eval_rate:.3}, \"workers_items_per_s\": {}}},\n  \"fault_campaign\": {{\"trials\": {}, \"sequential_items_per_s\": {seq_camp_rate:.3}, \"workers_items_per_s\": {}}}\n}}\n",
+        "{{\n  \"nproc\": {nproc},\n  \"batch_eval\": {{\"items\": {}, \"sequential_items_per_s\": {seq_eval_rate:.3}, \"workers_items_per_s\": {}}},\n  \"infer\": {{\"allocs_per_image\": {allocs_per_image:.1}, \"workspace_peak_bytes\": {ws_peak_bytes}, \"items_per_s\": {infer_rate:.3}, \"reference_items_per_s\": {reference_rate:.3}}},\n  \"fault_campaign\": {{\"trials\": {}, \"sequential_items_per_s\": {seq_camp_rate:.3}, \"workers_items_per_s\": {}}}\n}}\n",
         data.len(),
         workers(&eval_rates),
         cfg.trials,

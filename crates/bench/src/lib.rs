@@ -14,6 +14,8 @@
 //! `target/pgmr-model-cache` so repeat runs are fast (`PGMR_NO_CACHE=1`
 //! disables the cache).
 
+pub mod alloc_counter;
+
 use pgmr_datasets::{Dataset, Split};
 use pgmr_metrics::RateSummary;
 use pgmr_preprocess::Preprocessor;

@@ -115,12 +115,12 @@ impl Member {
             if let Some(inj) = fault {
                 inj.begin_forward();
             }
-            let hook = |t: &mut Tensor| {
+            let hook = |d: &mut [f32]| {
                 if let Some(inj) = fault {
-                    inj.apply(t);
+                    inj.apply(d);
                 }
                 if p != Precision::FULL {
-                    p.quantize_tensor(t);
+                    p.quantize_slice(d);
                 }
             };
             self.network.forward_with_hook(&x, false, &hook)
@@ -147,12 +147,12 @@ impl Member {
         if let Some(inj) = fault {
             inj.begin_forward();
         }
-        let hook = |t: &mut Tensor| {
+        let hook = |d: &mut [f32]| {
             if let Some(inj) = fault {
-                inj.apply(t);
+                inj.apply(d);
             }
             if p != Precision::FULL {
-                p.quantize_tensor(t);
+                p.quantize_slice(d);
             }
         };
         let needs_hook = fault.is_some() || p != Precision::FULL;

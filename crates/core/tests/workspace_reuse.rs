@@ -1,0 +1,70 @@
+//! System-level workspace guarantees: consecutive `infer_batch` calls run
+//! the ensemble hot path out of a steady-state arena (no regrowth), and the
+//! RADE staged engine produces identical decisions on the workspace path.
+
+use pgmr_datasets::{families, Split};
+use pgmr_nn::workspace::thread_workspace_stats;
+use pgmr_nn::zoo::ArchSpec;
+use pgmr_nn::{TrainConfig, WorkerPool};
+use pgmr_preprocess::Preprocessor;
+use polygraph_mr::{Ensemble, Member, PolygraphSystem, Thresholds};
+
+fn build_system() -> (PolygraphSystem, pgmr_datasets::Dataset) {
+    let cfg = families::synth_digits(0);
+    let train = cfg.generate(Split::Train, 120);
+    let test = cfg.generate(Split::Test, 40);
+    let spec = ArchSpec::convnet(1, 16, 16, 10);
+    let tc = TrainConfig { epochs: 2, batch_size: 16, lr: 0.08, ..TrainConfig::default() };
+    let (a, _) = Member::train(Preprocessor::Identity, &spec, &train, &tc, 1);
+    let (b, _) = Member::train(Preprocessor::FlipX, &spec, &train, &tc, 2);
+    let (c, _) = Member::train(Preprocessor::Gamma(2.0), &spec, &train, &tc, 3);
+    let ensemble = Ensemble::new(vec![a, b, c]);
+    (PolygraphSystem::new(ensemble, Thresholds::new(0.4, 2)), test)
+}
+
+#[test]
+fn consecutive_infer_batch_calls_reuse_the_workspace() {
+    let (mut system, test) = build_system();
+    // Width-1 pool keeps inference on this thread, where the thread-local
+    // arena counters are observable.
+    let pool = WorkerPool::new(1);
+    // Warmup sizes the arena for this (arch, batch) schedule; the ensemble
+    // members share one architecture, so one pass covers all three.
+    let first = system.infer_batch(test.images(), &pool);
+    let steady = thread_workspace_stats();
+    assert!(steady.grows > 0, "warmup must have grown the arena");
+
+    let second = system.infer_batch(test.images(), &pool);
+    let after = thread_workspace_stats();
+    assert_eq!(
+        after.grows, steady.grows,
+        "second infer_batch must reuse the warm arena, not regrow it"
+    );
+    assert!(after.peak_bytes >= steady.peak_bytes);
+    let first_verdicts: Vec<_> = first.iter().map(|d| (d.verdict.class(), d.activated)).collect();
+    let second_verdicts: Vec<_> = second.iter().map(|d| (d.verdict.class(), d.activated)).collect();
+    assert_eq!(first_verdicts, second_verdicts, "decisions must be call-order invariant");
+}
+
+#[test]
+fn staged_rade_runs_on_the_workspace_path_unchanged() {
+    let (mut system, test) = build_system();
+    let pool = WorkerPool::new(1);
+    let plain = system.infer_batch(test.images(), &pool);
+    assert!(plain.iter().all(|d| d.activated == 3));
+
+    system.enable_staged(vec![0, 1, 2]);
+    let warm = system.infer_batch(test.images(), &pool);
+    // Staged mode may stop early, never runs more than the full ensemble.
+    assert!(warm.iter().all(|d| (2..=3).contains(&d.activated)));
+    let steady = thread_workspace_stats();
+    let again = system.infer_batch(test.images(), &pool);
+    assert_eq!(
+        thread_workspace_stats().grows,
+        steady.grows,
+        "staged inference must also reach arena steady state"
+    );
+    let warm_v: Vec<_> = warm.iter().map(|d| (d.verdict.class(), d.activated)).collect();
+    let again_v: Vec<_> = again.iter().map(|d| (d.verdict.class(), d.activated)).collect();
+    assert_eq!(warm_v, again_v);
+}

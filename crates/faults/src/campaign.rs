@@ -126,7 +126,7 @@ fn activation_trial(
         .with_sites(cfg.sites.clone());
     let inj = ActivationInjector::new(&spec);
     inj.begin_forward();
-    let hook = |x: &mut Tensor| inj.apply(x);
+    let hook = |x: &mut [f32]| inj.apply(x);
     let outcome = if cfg.checksums {
         match net.forward_checked(input, false, Some(&hook), cfg.tolerance) {
             Err(_) => TrialOutcome::Detected,

@@ -5,7 +5,6 @@ use std::cell::{Cell, RefCell};
 use std::ops::RangeInclusive;
 
 use pgmr_nn::Network;
-use pgmr_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -210,8 +209,9 @@ impl ActivationInjector {
 
     /// The activation hook body: flips each element with the spec's
     /// probability when the current site is eligible, then advances the
-    /// site counter.
-    pub fn apply(&self, t: &mut Tensor) {
+    /// site counter. Takes the activation's raw row-major data, matching
+    /// the `pgmr_nn::Network` hook signature.
+    pub fn apply(&self, data: &mut [f32]) {
         let site = self.site.get();
         self.site.set(site + 1);
         if !self.sites.admits(site) {
@@ -219,7 +219,7 @@ impl ActivationInjector {
         }
         let mut rng = self.rng.borrow_mut();
         let (lo, hi) = (*self.bits.start(), *self.bits.end());
-        for v in t.data_mut() {
+        for v in data {
             if rng.gen_bool(self.rate) {
                 let bit = rng.gen_range(lo..=hi);
                 *v = flip_bit(*v, bit);
@@ -288,6 +288,7 @@ mod tests {
     use super::*;
     use pgmr_nn::layer::Layer;
     use pgmr_nn::layers::{Conv2d, Dense, Flatten, Relu};
+    use pgmr_tensor::Tensor;
 
     fn small_net(seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -339,10 +340,10 @@ mod tests {
         let inj = ActivationInjector::new(&spec);
         inj.begin_forward();
         let mut t = Tensor::ones(vec![4]);
-        inj.apply(&mut t); // site 0: filtered out
+        inj.apply(t.data_mut()); // site 0: filtered out
         assert_eq!(t.data(), &[1.0; 4]);
         assert_eq!(inj.injected(), 0);
-        inj.apply(&mut t); // site 1: rate 1.0 flips every element
+        inj.apply(t.data_mut()); // site 1: rate 1.0 flips every element
         assert_eq!(inj.injected(), 4);
         // pgmr-lint: allow(float-eq): a flipped bit can never leave the exact 1.0 seed value bit-identical
         assert!(t.data().iter().all(|&v| v != 1.0));
@@ -362,7 +363,7 @@ mod tests {
         for _ in 0..20 {
             inj.begin_forward();
             let before = inj.injected();
-            let hook = |t: &mut Tensor| inj.apply(t);
+            let hook = |d: &mut [f32]| inj.apply(d);
             let r = net.forward_checked(&x, false, Some(&hook), 1e-4);
             if inj.injected() > before {
                 if r.is_err() {

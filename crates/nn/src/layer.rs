@@ -1,5 +1,6 @@
 //! The [`Layer`] trait and parameter/cost accounting types.
 
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::checksum::{ChecksumFault, GemmChecksums};
 use pgmr_tensor::Tensor;
 
@@ -62,13 +63,14 @@ impl OutputChecksum {
         OutputChecksum { segments }
     }
 
-    /// Verifies a (possibly corrupted) output tensor against every block.
+    /// Verifies a (possibly corrupted) output against every block. Takes
+    /// the raw row-major data so both the allocating (`Tensor`) and the
+    /// workspace (`ActBuf`) forward paths verify without a copy.
     ///
     /// # Panics
     ///
-    /// Panics if a block extends past the tensor's data.
-    pub fn verify(&self, output: &Tensor, tolerance: f32) -> Result<(), ChecksumFault> {
-        let data = output.data();
+    /// Panics if a block extends past the data.
+    pub fn verify(&self, data: &[f32], tolerance: f32) -> Result<(), ChecksumFault> {
         for (offset, sums) in &self.segments {
             let len = sums.rows() * sums.cols();
             sums.verify(&data[*offset..*offset + len], tolerance)?;
@@ -105,6 +107,36 @@ pub trait Layer: Send {
         train: bool,
     ) -> (Tensor, Option<OutputChecksum>) {
         (self.forward(input, train), None)
+    }
+
+    /// Workspace forward: runs the layer on the batch held in `input`,
+    /// returning the output in a buffer from `ws` (or `input` itself for
+    /// pass-through layers — the ping-pong scheme). The input buffer is
+    /// consumed: implementations must release it to `ws` unless they
+    /// return it. Results are bit-identical to [`Layer::forward`].
+    ///
+    /// The default shim routes through the allocating `forward`, keeping
+    /// it the reference implementation; ported layers override this with
+    /// an allocation-free body. Training callers should prefer `forward`
+    /// directly — with `train == true` layers still populate their
+    /// backward caches, which allocate.
+    fn forward_into(&mut self, input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        let x = input.to_tensor();
+        ws.release(input);
+        let y = self.forward(&x, train);
+        ws.adopt(y)
+    }
+
+    /// [`Layer::forward_into`] plus ABFT checksum expectations, mirroring
+    /// [`Layer::forward_with_checksum`]. Layers without a guarded GEMM
+    /// core return `None`.
+    fn forward_into_with_checksum(
+        &mut self,
+        input: ActBuf,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> (ActBuf, Option<OutputChecksum>) {
+        (self.forward_into(input, ws, train), None)
     }
 
     /// Propagates gradients; returns the gradient w.r.t. the forward input.

@@ -1,25 +1,45 @@
 //! Activation layers.
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::{relu, relu_backward, Tensor};
 
 /// Rectified linear unit layer.
 #[derive(Clone, Default)]
 pub struct Relu {
     input_cache: Option<Tensor>,
+    output_elems_per_image: u64,
 }
 
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        Relu { input_cache: None }
+        Relu::default()
     }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.output_elems_per_image = (input.len() / input.shape().dim(0)) as u64;
         self.input_cache = Some(input.clone());
         relu(input)
+    }
+
+    fn forward_into(&mut self, mut input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        // Inference never calls backward: clamp in place (pass-through) and
+        // skip the input cache. The cost metadata stays fed either way.
+        self.output_elems_per_image = (input.len() / input.dims()[0]) as u64;
+        self.input_cache = None;
+        for v in input.data_mut() {
+            *v = v.max(0.0);
+        }
+        input
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -38,14 +58,7 @@ impl Layer for Relu {
             kind: "relu",
             macs: 0,
             param_elems: 0,
-            output_elems: self
-                .input_cache
-                .as_ref()
-                .map(|t| {
-                    let dims = t.shape().dims();
-                    (t.len() / dims[0]) as u64
-                })
-                .unwrap_or(0),
+            output_elems: self.output_elems_per_image,
         }
     }
 
@@ -72,5 +85,17 @@ mod tests {
     #[should_panic(expected = "before forward")]
     fn backward_requires_forward() {
         Relu::new().backward(&Tensor::ones(vec![1]));
+    }
+
+    #[test]
+    fn workspace_forward_clamps_in_place() {
+        let mut layer = Relu::new();
+        let mut ws = crate::workspace::Workspace::new();
+        let mut buf = ws.acquire(&[1, 4]);
+        buf.data_mut().copy_from_slice(&[-1., 0., 1., 2.]);
+        let out = layer.forward_into(buf, &mut ws, false);
+        assert_eq!(out.data(), &[0., 0., 1., 2.]);
+        assert!(layer.input_cache.is_none(), "inference must not cache the input");
+        assert_eq!(layer.cost().output_elems, 4);
     }
 }

@@ -1,6 +1,7 @@
 //! Per-channel batch normalization for NCHW batches.
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::Tensor;
 
 /// 2-D batch normalization with learnable scale/shift and running statistics
@@ -127,6 +128,37 @@ impl Layer for BatchNorm2d {
         Tensor::from_vec(vec![n, c, h, w], out)
     }
 
+    fn forward_into(&mut self, mut input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        // Inference normalizes with the running statistics, which depend only
+        // on the channel — the transform is elementwise, so it runs in place
+        // on the input buffer (pass-through, no second buffer needed).
+        let (n, c, h, w) = input.as_nchw();
+        assert_eq!(c, self.channels, "batchnorm channel mismatch");
+        let plane = h * w;
+        self.output_elems_per_image = (c * plane) as u64;
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        let data = input.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let m = self.running_mean[ch];
+                let inv_std = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                let (g, b) = (gamma[ch], beta[ch]);
+                for v in &mut data[base..base + plane] {
+                    *v = g * ((*v - m) * inv_std) + b;
+                }
+            }
+        }
+        input
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let cache = self.cache.as_ref().expect("batchnorm backward called before training forward");
         let dims = &cache.input_dims;
@@ -247,6 +279,27 @@ mod tests {
         let x = Tensor::filled(vec![1, 2, 2, 2], 3.0);
         let y = bn.forward(&x, false);
         assert!(y.data().iter().all(|v| v.abs() < 0.3), "{:?}", y.data());
+    }
+
+    #[test]
+    fn workspace_forward_matches_allocating() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bn = BatchNorm2d::new(3);
+        for _ in 0..20 {
+            let x = Tensor::normal(vec![4, 3, 2, 2], 1.0, 0.5, &mut rng);
+            let _ = bn.forward(&x, true);
+        }
+        bn.gamma.value = Tensor::from_vec(vec![3], vec![1.3, 0.8, -0.4]);
+        bn.beta.value = Tensor::from_vec(vec![3], vec![0.2, -0.1, 0.05]);
+        let x = Tensor::normal(vec![2, 3, 2, 2], 0.7, 1.1, &mut rng);
+        let expected = bn.clone().forward(&x, false);
+
+        let mut ws = crate::workspace::Workspace::new();
+        let mut buf = ws.acquire(&[2, 3, 2, 2]);
+        buf.data_mut().copy_from_slice(x.data());
+        let out = bn.forward_into(buf, &mut ws, false);
+        assert_eq!(out.dims(), expected.shape().dims());
+        assert_eq!(out.data(), expected.data(), "workspace path must be bit-identical");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! paper's Table II (ResNet20/ResNet34 and DenseNet40 analogs).
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::{relu, relu_backward, Tensor};
 
 /// Concatenates NCHW tensors along the channel axis.
@@ -114,6 +115,31 @@ impl Layer for Residual {
         let out = relu(&sum);
         self.sum_cache = Some(sum);
         out
+    }
+
+    fn forward_into(&mut self, input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        // The body consumes a copy; the original buffer feeds the skip path.
+        self.sum_cache = None;
+        let mut y = ws.acquire(input.dims());
+        y.data_mut().copy_from_slice(input.data());
+        for layer in &mut self.body {
+            y = layer.forward_into(y, ws, false);
+        }
+        let skip = match &mut self.projection {
+            Some(p) => p.forward_into(input, ws, false),
+            None => input,
+        };
+        for (a, &b) in y.data_mut().iter_mut().zip(skip.data()) {
+            *a = (*a + b).max(0.0);
+        }
+        ws.release(skip);
+        y
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -238,6 +264,44 @@ impl Layer for DenseBlock {
             let y = relu(&pre);
             self.pre_relu_cache.push(pre);
             features = concat_channels(&[&features, &y]);
+        }
+        features
+    }
+
+    fn forward_into(&mut self, input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        let (_, c, _, _) = input.as_nchw();
+        assert_eq!(c, self.in_c, "dense block input channel mismatch");
+        self.pre_relu_cache.clear();
+        let mut features = input;
+        for unit in &mut self.units {
+            // The unit consumes a copy of the running concatenation.
+            let mut unit_in = ws.acquire(features.dims());
+            unit_in.data_mut().copy_from_slice(features.data());
+            let mut y = unit.forward_into(unit_in, ws, false);
+            for v in y.data_mut() {
+                *v = v.max(0.0);
+            }
+            let (n, c, h, w) = features.as_nchw();
+            let (yn, yc, yh, yw) = y.as_nchw();
+            assert_eq!((yn, yh, yw), (n, h, w), "concat shape mismatch");
+            let plane = h * w;
+            let mut cat = ws.acquire(&[n, c + yc, h, w]);
+            for img in 0..n {
+                let dst = img * (c + yc) * plane;
+                cat.data_mut()[dst..dst + c * plane]
+                    .copy_from_slice(&features.data()[img * c * plane..(img + 1) * c * plane]);
+                cat.data_mut()[dst + c * plane..dst + (c + yc) * plane]
+                    .copy_from_slice(&y.data()[img * yc * plane..(img + 1) * yc * plane]);
+            }
+            ws.release(features);
+            ws.release(y);
+            features = cat;
         }
         features
     }
@@ -374,6 +438,36 @@ mod tests {
         assert_eq!(y.shape().dims(), &[2, 7, 4, 4]);
         // The first in_c channels of the output are the input itself.
         assert_eq!(slice_channels(&y, 0, 3), x);
+    }
+
+    #[test]
+    fn workspace_forward_matches_allocating() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ws = crate::workspace::Workspace::new();
+
+        let body: Vec<Box<dyn Layer>> = vec![Box::new(Conv2d::new(3, 3, 4, 4, 3, 1, 1, &mut rng))];
+        let proj: Box<dyn Layer> = Box::new(Conv2d::new(3, 3, 4, 4, 1, 1, 0, &mut rng));
+        let mut res = Residual::new(body, Some(proj));
+        let x = Tensor::uniform(vec![2, 3, 4, 4], -1.0, 1.0, &mut rng);
+        let expected = res.clone().forward(&x, false);
+        let mut buf = ws.acquire(&[2, 3, 4, 4]);
+        buf.data_mut().copy_from_slice(x.data());
+        let out = res.forward_into(buf, &mut ws, false);
+        assert_eq!(out.dims(), expected.shape().dims());
+        assert_eq!(out.data(), expected.data(), "residual workspace path must be bit-identical");
+        ws.release(out);
+
+        let units: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(3, 2, 4, 4, 3, 1, 1, &mut rng)),
+            Box::new(Conv2d::new(5, 2, 4, 4, 3, 1, 1, &mut rng)),
+        ];
+        let mut block = DenseBlock::new(units, 3, 2);
+        let expected = block.clone().forward(&x, false);
+        let mut buf = ws.acquire(&[2, 3, 4, 4]);
+        buf.data_mut().copy_from_slice(x.data());
+        let out = block.forward_into(buf, &mut ws, false);
+        assert_eq!(out.dims(), expected.shape().dims());
+        assert_eq!(out.data(), expected.data(), "dense block workspace path must be bit-identical");
     }
 
     #[test]

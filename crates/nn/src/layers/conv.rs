@@ -2,9 +2,10 @@
 
 use crate::init::he_normal;
 use crate::layer::{Layer, LayerCost, OutputChecksum, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::checksum::GemmChecksums;
 use pgmr_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
-use pgmr_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use pgmr_tensor::{col2im, im2col_into, Conv2dGeometry, Tensor};
 use rand::Rng;
 
 /// A 2-D convolution layer with square kernels, uniform stride and symmetric
@@ -59,10 +60,88 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.out_c
     }
+
+    /// Workspace forward core (inference only): the im2col patch matrix
+    /// lives in the arena's shared scratch, zero-filled and reused across
+    /// images; the output comes from the arena. Derives per-image ABFT
+    /// expectations inline when `checked` — the inference path keeps no
+    /// `cols_cache` to derive them from afterwards.
+    fn run_into(
+        &mut self,
+        input: ActBuf,
+        ws: &mut Workspace,
+        checked: bool,
+    ) -> (ActBuf, Option<OutputChecksum>) {
+        let (n, c, h, w) = input.as_nchw();
+        assert_eq!(
+            (c, h, w),
+            (self.geom.in_c, self.geom.in_h, self.geom.in_w),
+            "conv2d input shape mismatch"
+        );
+        let spatial = self.geom.out_spatial();
+        let patch = self.geom.patch_len();
+        self.cols_cache.clear();
+        let mut out = ws.acquire(&[n, self.out_c, self.geom.out_h, self.geom.out_w]);
+        let mut segments = if checked { Vec::with_capacity(n) } else { Vec::new() };
+        {
+            let cols = ws.scratch(patch * spatial);
+            let in_stride = c * h * w;
+            let out_stride = self.out_c * spatial;
+            for i in 0..n {
+                im2col_into(&input.data()[i * in_stride..(i + 1) * in_stride], &self.geom, cols);
+                Self::bias_gemm(
+                    self.out_c,
+                    patch,
+                    spatial,
+                    self.weight.value.data(),
+                    self.bias.value.data(),
+                    cols,
+                    &mut out.data_mut()[i * out_stride..(i + 1) * out_stride],
+                );
+                if checked {
+                    segments.push((i * out_stride, self.image_checksums(cols)));
+                }
+            }
+        }
+        ws.release(input);
+        let sums = if checked { Some(OutputChecksum::new(segments)) } else { None };
+        (out, sums)
+    }
+
+    /// Bias-initialized convolution GEMM for one image: every spatial
+    /// position of channel `ch` starts at `bias[ch]`, then the filter
+    /// matrix multiplies the patch matrix on top.
+    fn bias_gemm(
+        out_c: usize,
+        patch: usize,
+        spatial: usize,
+        weight: &[f32],
+        bias: &[f32],
+        cols: &[f32],
+        out_img: &mut [f32],
+    ) {
+        for (ch, row) in out_img.chunks_mut(spatial).enumerate() {
+            row.fill(bias[ch]);
+        }
+        gemm(out_c, patch, spatial, weight, cols, out_img);
+    }
+
+    /// ABFT expectations for one image's bias-initialized GEMM.
+    fn image_checksums(&self, cols: &[f32]) -> GemmChecksums {
+        let mut sums = GemmChecksums::for_ab(
+            self.out_c,
+            self.geom.patch_len(),
+            self.geom.out_spatial(),
+            self.weight.value.data(),
+            cols,
+        );
+        sums.add_broadcast_col(self.bias.value.data());
+        sums
+    }
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let (n, c, h, w) = input.shape().as_nchw();
         assert_eq!(
             (c, h, w),
@@ -73,17 +152,23 @@ impl Layer for Conv2d {
         let patch = self.geom.patch_len();
         let mut out = vec![0.0f32; n * self.out_c * spatial];
         self.cols_cache.clear();
+        let mut cols = vec![0.0f32; patch * spatial];
         for i in 0..n {
-            let img = input.image(i);
-            let cols = im2col(&img, &self.geom);
-            let out_img = &mut out[i * self.out_c * spatial..(i + 1) * self.out_c * spatial];
-            // Per-channel bias: every spatial position of channel `ch`
-            // starts at bias[ch].
-            for (ch, row) in out_img.chunks_mut(spatial).enumerate() {
-                row.fill(self.bias.value.data()[ch]);
+            im2col_into(input.image_view(i), &self.geom, &mut cols);
+            Self::bias_gemm(
+                self.out_c,
+                patch,
+                spatial,
+                self.weight.value.data(),
+                self.bias.value.data(),
+                &cols,
+                &mut out[i * self.out_c * spatial..(i + 1) * self.out_c * spatial],
+            );
+            if train {
+                // Backward consumes the patch matrices; inference must not
+                // retain batch-sized buffers.
+                self.cols_cache.push(cols.clone());
             }
-            gemm(self.out_c, patch, spatial, self.weight.value.data(), &cols, out_img);
-            self.cols_cache.push(cols);
         }
         Tensor::from_vec(vec![n, self.out_c, self.geom.out_h, self.geom.out_w], out)
     }
@@ -93,20 +178,62 @@ impl Layer for Conv2d {
         input: &Tensor,
         train: bool,
     ) -> (Tensor, Option<OutputChecksum>) {
-        let out = self.forward(input, train);
-        let n = input.shape().dim(0);
+        let (n, c, h, w) = input.shape().as_nchw();
+        assert_eq!(
+            (c, h, w),
+            (self.geom.in_c, self.geom.in_h, self.geom.in_w),
+            "conv2d input shape mismatch"
+        );
         let spatial = self.geom.out_spatial();
         let patch = self.geom.patch_len();
-        // forward() just refilled cols_cache for this batch; derive one
-        // checksum block per image from the same patch matrices.
+        let mut out = vec![0.0f32; n * self.out_c * spatial];
+        self.cols_cache.clear();
+        let mut cols = vec![0.0f32; patch * spatial];
         let mut segments = Vec::with_capacity(n);
-        for (i, cols) in self.cols_cache.iter().enumerate() {
-            let mut sums =
-                GemmChecksums::for_ab(self.out_c, patch, spatial, self.weight.value.data(), cols);
-            sums.add_broadcast_col(self.bias.value.data());
-            segments.push((i * self.out_c * spatial, sums));
+        for i in 0..n {
+            im2col_into(input.image_view(i), &self.geom, &mut cols);
+            Self::bias_gemm(
+                self.out_c,
+                patch,
+                spatial,
+                self.weight.value.data(),
+                self.bias.value.data(),
+                &cols,
+                &mut out[i * self.out_c * spatial..(i + 1) * self.out_c * spatial],
+            );
+            segments.push((i * self.out_c * spatial, self.image_checksums(&cols)));
+            if train {
+                self.cols_cache.push(cols.clone());
+            }
         }
+        let out = Tensor::from_vec(vec![n, self.out_c, self.geom.out_h, self.geom.out_w], out);
         (out, Some(OutputChecksum::new(segments)))
+    }
+
+    fn forward_into(&mut self, input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, true);
+            return ws.adopt(y);
+        }
+        let (buf, _) = self.run_into(input, ws, false);
+        buf
+    }
+
+    fn forward_into_with_checksum(
+        &mut self,
+        input: ActBuf,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> (ActBuf, Option<OutputChecksum>) {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let (y, sums) = self.forward_with_checksum(&x, true);
+            return (ws.adopt(y), sums);
+        }
+        self.run_into(input, ws, true)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -247,6 +374,34 @@ mod tests {
                 "dW[{flat}]: numeric {numeric} vs analytic {analytic}"
             );
         }
+    }
+
+    #[test]
+    fn inference_forward_keeps_no_cols_cache() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(2, 4, 6, 6, 3, 1, 1, &mut rng);
+        let x = Tensor::uniform(vec![3, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let _ = conv.forward(&x, true);
+        assert_eq!(conv.cols_cache.len(), 3, "training must cache per-image patches");
+        let _ = conv.forward(&x, false);
+        assert!(conv.cols_cache.is_empty(), "inference must not retain im2col buffers");
+        let (_, sums) = conv.forward_with_checksum(&x, false);
+        assert!(sums.is_some());
+        assert!(conv.cols_cache.is_empty(), "checked inference must not retain im2col buffers");
+    }
+
+    #[test]
+    fn workspace_forward_matches_allocating() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(2, 4, 6, 6, 3, 2, 1, &mut rng);
+        let x = Tensor::uniform(vec![3, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let reference = conv.forward(&x, false);
+        let mut ws = Workspace::new();
+        let mut buf = ws.acquire(x.shape().dims());
+        buf.data_mut().copy_from_slice(x.data());
+        let out = conv.forward_into(buf, &mut ws, false);
+        assert_eq!(out.dims(), reference.shape().dims());
+        assert_eq!(out.data(), reference.data());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::init::he_normal;
 use crate::layer::{Layer, LayerCost, OutputChecksum, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::checksum::GemmChecksums;
 use pgmr_tensor::gemm::{gemm_a_bt, gemm_at_b};
 use pgmr_tensor::Tensor;
@@ -40,6 +41,46 @@ impl Dense {
     /// Output feature count.
     pub fn out_features(&self) -> usize {
         self.out_features
+    }
+
+    /// Workspace forward core: `y = x W^T + b` into an arena buffer, with
+    /// optional ABFT checksums. Skips the backward `input_cache` — the
+    /// workspace path is inference-only.
+    fn run_into(
+        &mut self,
+        input: ActBuf,
+        ws: &mut Workspace,
+        checked: bool,
+    ) -> (ActBuf, Option<OutputChecksum>) {
+        assert_eq!(input.dims().len(), 2, "dense expects [n, features]");
+        let n = input.dims()[0];
+        assert_eq!(input.dims()[1], self.in_features, "dense input feature mismatch");
+        let mut out = ws.acquire(&[n, self.out_features]);
+        for row in out.data_mut().chunks_mut(self.out_features) {
+            row.copy_from_slice(self.bias.value.data());
+        }
+        gemm_a_bt(
+            n,
+            self.in_features,
+            self.out_features,
+            input.data(),
+            self.weight.value.data(),
+            out.data_mut(),
+        );
+        let sums = checked.then(|| {
+            let mut sums = GemmChecksums::for_a_bt(
+                n,
+                self.in_features,
+                self.out_features,
+                input.data(),
+                self.weight.value.data(),
+            );
+            sums.add_broadcast_row(self.bias.value.data());
+            OutputChecksum::new(vec![(0, sums)])
+        });
+        self.input_cache = None;
+        ws.release(input);
+        (out, sums)
     }
 }
 
@@ -81,6 +122,31 @@ impl Layer for Dense {
         );
         sums.add_broadcast_row(self.bias.value.data());
         (out, Some(OutputChecksum::new(vec![(0, sums)])))
+    }
+
+    fn forward_into(&mut self, input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        self.run_into(input, ws, false).0
+    }
+
+    fn forward_into_with_checksum(
+        &mut self,
+        input: ActBuf,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> (ActBuf, Option<OutputChecksum>) {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let (y, sums) = self.forward_with_checksum(&x, train);
+            return (ws.adopt(y), sums);
+        }
+        self.run_into(input, ws, true)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -189,6 +255,23 @@ mod tests {
             let numeric = (wp.forward(&x, true).sum() - wm.forward(&x, true).sum()) / (2.0 * eps);
             assert!((numeric - probe.weight.grad.data()[flat]).abs() < 1e-2);
         }
+    }
+
+    #[test]
+    fn workspace_forward_matches_allocating() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut dense = Dense::new(5, 4, &mut rng);
+        let x = Tensor::uniform(vec![3, 5], -1.0, 1.0, &mut rng);
+        let expected = dense.clone().forward(&x, false);
+
+        let mut ws = crate::workspace::Workspace::new();
+        let mut buf = ws.acquire(&[3, 5]);
+        buf.data_mut().copy_from_slice(x.data());
+        let (out, sums) = dense.forward_into_with_checksum(buf, &mut ws, false);
+        assert_eq!(out.dims(), expected.shape().dims());
+        assert_eq!(out.data(), expected.data(), "workspace path must be bit-identical");
+        sums.expect("dense emits checksums").verify(out.data(), 1e-4).unwrap();
+        assert!(dense.input_cache.is_none(), "inference must not cache the input");
     }
 
     #[test]

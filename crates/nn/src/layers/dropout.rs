@@ -9,6 +9,7 @@
 //! predictive distribution.
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,6 +67,30 @@ impl Layer for Dropout {
         let out = input.mul(&mask);
         self.mask_cache = Some(mask);
         out
+    }
+
+    fn forward_into(&mut self, mut input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        // pgmr-lint: allow(float-eq): p == 0.0 is the exact no-op configuration, not an arithmetic result
+        if !self.mc_mode || self.p == 0.0 {
+            self.mask_cache = None;
+            return input;
+        }
+        // MC inference: draw the mask in the same RNG order as `forward`
+        // and apply it in place; backward is never called, so the mask
+        // itself is not retained.
+        self.mask_cache = None;
+        let keep = 1.0 - self.p;
+        for v in input.data_mut() {
+            let m = if self.rng.gen::<f32>() < self.p { 0.0 } else { 1.0 / keep };
+            *v *= m;
+        }
+        input
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -127,6 +152,33 @@ mod tests {
         let y1 = d.forward(&x, false);
         let y2 = d.forward(&x, false);
         assert_ne!(y1, y2, "MC passes must differ");
+    }
+
+    #[test]
+    fn workspace_forward_matches_allocating_in_mc_mode() {
+        let x = Tensor::filled(vec![1, 64], 1.0);
+        let mut reference = Dropout::new(0.3, 6);
+        reference.set_mc_mode(true);
+        let expected = reference.forward(&x, false);
+
+        let mut probe = Dropout::new(0.3, 6);
+        probe.set_mc_mode(true);
+        let mut ws = crate::workspace::Workspace::new();
+        let mut buf = ws.acquire(&[1, 64]);
+        buf.data_mut().copy_from_slice(x.data());
+        let out = probe.forward_into(buf, &mut ws, false);
+        assert_eq!(out.data(), expected.data(), "RNG draw order must match the allocating path");
+    }
+
+    #[test]
+    fn workspace_forward_is_identity_without_mc() {
+        let mut d = Dropout::new(0.5, 7);
+        let mut ws = crate::workspace::Workspace::new();
+        let mut buf = ws.acquire(&[1, 8]);
+        buf.data_mut().fill(2.0);
+        let out = d.forward_into(buf, &mut ws, false);
+        // pgmr-lint: allow(float-eq): identity pass-through must preserve the exact seed value
+        assert!(out.data().iter().all(|&v| v == 2.0));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Shape adapter between convolutional and dense stages.
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::Tensor;
 
 /// Flattens `[n, c, h, w]` (or any rank ≥ 2) into `[n, c*h*w]`.
@@ -24,6 +25,22 @@ impl Layer for Flatten {
         let rest: usize = dims[1..].iter().product();
         self.input_dims = Some(dims);
         input.reshape(vec![n, rest])
+    }
+
+    fn forward_into(&mut self, mut input: ActBuf, _ws: &mut Workspace, _train: bool) -> ActBuf {
+        let dims = input.dims();
+        assert!(dims.len() >= 2, "flatten expects a batched tensor");
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        match &mut self.input_dims {
+            Some(d) => {
+                d.clear();
+                d.extend_from_slice(input.dims());
+            }
+            None => self.input_dims = Some(input.dims().to_vec()),
+        }
+        input.set_dims(&[n, rest]);
+        input
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

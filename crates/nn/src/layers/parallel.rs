@@ -1,6 +1,7 @@
 //! Parallel multi-branch layers (GoogLeNet/Inception-style blocks).
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::Tensor;
 
 /// Runs several branches on the same input and concatenates their NCHW
@@ -14,6 +15,10 @@ pub struct Parallel {
     /// Output channel count per branch, recorded during forward for the
     /// backward split.
     branch_channels: Vec<usize>,
+    /// Scratch list holding branch outputs inside `forward_into`. Always
+    /// drained back to the workspace before returning; kept as a field so
+    /// the list's own storage is reused across calls.
+    branch_outs: Vec<ActBuf>,
 }
 
 impl Parallel {
@@ -25,7 +30,7 @@ impl Parallel {
     pub fn new(branches: Vec<Vec<Box<dyn Layer>>>) -> Self {
         assert!(!branches.is_empty(), "parallel block needs at least one branch");
         assert!(branches.iter().all(|b| !b.is_empty()), "every branch needs at least one layer");
-        Parallel { branches, branch_channels: Vec::new() }
+        Parallel { branches, branch_channels: Vec::new(), branch_outs: Vec::new() }
     }
 
     /// Number of branches.
@@ -36,7 +41,11 @@ impl Parallel {
 
 impl Clone for Parallel {
     fn clone(&self) -> Self {
-        Parallel { branches: self.branches.clone(), branch_channels: self.branch_channels.clone() }
+        Parallel {
+            branches: self.branches.clone(),
+            branch_channels: self.branch_channels.clone(),
+            branch_outs: Vec::new(),
+        }
     }
 }
 
@@ -55,6 +64,54 @@ impl Layer for Parallel {
         }
         let refs: Vec<&Tensor> = outputs.iter().collect();
         concat_channels(&refs)
+    }
+
+    fn forward_into(&mut self, input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        self.branch_channels.clear();
+        let mut outs = std::mem::take(&mut self.branch_outs);
+        for branch in &mut self.branches {
+            let mut y = ws.acquire(input.dims());
+            y.data_mut().copy_from_slice(input.data());
+            for layer in branch.iter_mut() {
+                y = layer.forward_into(y, ws, false);
+            }
+            let (_, c, _, _) = y.as_nchw();
+            self.branch_channels.push(c);
+            outs.push(y);
+        }
+        ws.release(input);
+        let (n, _, h, w) = outs[0].as_nchw();
+        let total_c: usize = outs
+            .iter()
+            .map(|t| {
+                let (pn, pc, ph, pw) = t.as_nchw();
+                assert_eq!((pn, ph, pw), (n, h, w), "branch output shape mismatch");
+                pc
+            })
+            .sum();
+        let plane = h * w;
+        let mut cat = ws.acquire(&[n, total_c, h, w]);
+        for img in 0..n {
+            let mut ch_off = 0;
+            for t in &outs {
+                let (_, pc, _, _) = t.as_nchw();
+                let src = &t.data()[img * pc * plane..(img + 1) * pc * plane];
+                let dst = (img * total_c + ch_off) * plane;
+                cat.data_mut()[dst..dst + pc * plane].copy_from_slice(src);
+                ch_off += pc;
+            }
+        }
+        for t in outs.drain(..) {
+            ws.release(t);
+        }
+        self.branch_outs = outs;
+        cat
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -219,6 +276,22 @@ mod tests {
                 dx.data()[flat]
             );
         }
+    }
+
+    #[test]
+    fn workspace_forward_matches_allocating() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = block(&mut rng);
+        let x = Tensor::uniform(vec![2, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let expected = p.clone().forward(&x, false);
+
+        let mut ws = crate::workspace::Workspace::new();
+        let mut buf = ws.acquire(&[2, 2, 5, 5]);
+        buf.data_mut().copy_from_slice(x.data());
+        let out = p.forward_into(buf, &mut ws, false);
+        assert_eq!(out.dims(), expected.shape().dims());
+        assert_eq!(out.data(), expected.data(), "parallel workspace path must be bit-identical");
+        assert!(p.branch_outs.is_empty(), "branch buffers must drain back to the arena");
     }
 
     #[test]

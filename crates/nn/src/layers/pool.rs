@@ -1,7 +1,20 @@
 //! Pooling layers.
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::Tensor;
+
+/// Records an input shape into a reusable `Option<Vec<usize>>` slot without
+/// reallocating once the slot has been populated.
+fn record_shape(slot: &mut Option<Vec<usize>>, dims: [usize; 4]) {
+    match slot {
+        Some(s) => {
+            s.clear();
+            s.extend_from_slice(&dims);
+        }
+        None => *slot = Some(dims.to_vec()),
+    }
+}
 
 /// Max pooling with a square window and matching stride (the common
 /// `kernel == stride` configuration used by all zoo networks).
@@ -68,6 +81,51 @@ impl Layer for MaxPool2d {
         Tensor::from_vec(vec![n, c, oh, ow], out)
     }
 
+    fn forward_into(&mut self, input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        let (n, c, h, w) = input.as_nchw();
+        let k = self.window;
+        assert!(h >= k && w >= k, "pool window {k} larger than spatial dims {h}x{w}");
+        let oh = h / k;
+        let ow = w / k;
+        let mut out = ws.acquire(&[n, c, oh, ow]);
+        // Inference never calls backward: drop the argmax routing table
+        // (capacity is retained) instead of repopulating it.
+        self.argmax_cache.clear();
+        let data = input.data();
+        let od = out.data_mut();
+        let mut oi = 0;
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let idx = base + (oy * k + dy) * w + (ox * k + dx);
+                                if data[idx] > best {
+                                    best = data[idx];
+                                }
+                            }
+                        }
+                        od[oi] = best;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        record_shape(&mut self.input_shape, [n, c, h, w]);
+        self.output_elems_per_image = (c * oh * ow) as u64;
+        ws.release(input);
+        out
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let shape = self.input_shape.clone().expect("pool backward called before forward");
         assert_eq!(grad_output.len(), self.argmax_cache.len());
@@ -128,6 +186,29 @@ impl Layer for AvgPoolGlobal {
         }
         self.input_shape = Some(vec![n, c, h, w]);
         Tensor::from_vec(vec![n, c], out)
+    }
+
+    fn forward_into(&mut self, input: ActBuf, ws: &mut Workspace, train: bool) -> ActBuf {
+        if train {
+            let x = input.to_tensor();
+            ws.release(input);
+            let y = self.forward(&x, train);
+            return ws.adopt(y);
+        }
+        let (n, c, h, w) = input.as_nchw();
+        let plane = h * w;
+        let mut out = ws.acquire(&[n, c]);
+        let data = input.data();
+        let od = out.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                od[img * c + ch] = data[base..base + plane].iter().sum::<f32>() / plane as f32;
+            }
+        }
+        record_shape(&mut self.input_shape, [n, c, h, w]);
+        ws.release(input);
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -201,6 +282,38 @@ mod tests {
         let mut pool = MaxPool2d::new(2);
         let y = pool.forward(&x, true);
         assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn workspace_forward_matches_allocating() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let mut ws = crate::workspace::Workspace::new();
+
+        let mut pool = MaxPool2d::new(2);
+        let expected = pool.clone().forward(&x, false);
+        let mut buf = ws.acquire(&[1, 1, 4, 4]);
+        buf.data_mut().copy_from_slice(x.data());
+        let out = pool.forward_into(buf, &mut ws, false);
+        assert_eq!(out.dims(), expected.shape().dims());
+        assert_eq!(out.data(), expected.data());
+        assert!(pool.argmax_cache.is_empty(), "inference must not build argmax routing");
+        ws.release(out);
+
+        let mut gap = AvgPoolGlobal::new();
+        let expected = gap.clone().forward(&x, false);
+        let mut buf = ws.acquire(&[1, 1, 4, 4]);
+        buf.data_mut().copy_from_slice(x.data());
+        let out = gap.forward_into(buf, &mut ws, false);
+        assert_eq!(out.dims(), expected.shape().dims());
+        assert_eq!(out.data(), expected.data());
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   batched inference, and fault campaigns,
 //! * [`zoo`] — the six benchmark architectures of the paper's Table II,
 //!   scaled to this repository's synthetic datasets,
+//! * [`workspace`] — the reusable inference arena behind the
+//!   zero-allocation `forward_into` layer family (one per thread, reused
+//!   across members and batches),
 //! * [`serialize`] — a versioned binary parameter codec.
 //!
 //! ## Example
@@ -59,9 +62,11 @@ pub mod optim;
 pub mod pool;
 pub mod serialize;
 pub mod train;
+pub mod workspace;
 pub mod zoo;
 
 pub use layer::{Layer, LayerCost, ParamSlot};
 pub use network::Network;
 pub use pool::WorkerPool;
-pub use train::{TrainConfig, TrainReport, Trainer};
+pub use train::{TrainConfig, TrainReport, Trainer, INFER_BATCH};
+pub use workspace::{ActBuf, Workspace};

@@ -1,8 +1,14 @@
 //! Sequential network container.
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::workspace::{with_thread_workspace, ActBuf, Workspace};
 use pgmr_tensor::checksum::ChecksumFault;
 use pgmr_tensor::{softmax, Tensor};
+
+/// An activation hook: runs on the network input and on every layer
+/// output, receiving the activation's raw row-major data — the simulated
+/// load/store boundary for precision truncation and fault injection.
+pub type ActivationHook<'a> = &'a dyn Fn(&mut [f32]);
 
 /// A feed-forward network: an ordered stack of [`Layer`]s ending in a
 /// logit-producing head.
@@ -75,7 +81,28 @@ impl Network {
     }
 
     /// Runs the forward pass, producing `[n, num_classes]` logits.
+    ///
+    /// Training runs on the allocating [`Layer::forward`] path (backward
+    /// passes need the caches it populates); inference runs on the
+    /// workspace [`Layer::forward_into`] path, reusing this thread's
+    /// activation arena across calls. The two are bit-identical.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            return self.forward_reference(input, train);
+        }
+        with_thread_workspace(|ws| {
+            let out = self.forward_ws(input, ws, None);
+            let t = out.to_tensor();
+            ws.release(out);
+            ws.report_peak();
+            t
+        })
+    }
+
+    /// Reference allocating forward pass. Inference callers normally go
+    /// through [`Network::forward`]; this variant exists as the semantic
+    /// baseline the workspace path is pinned against in the parity tests.
+    pub fn forward_reference(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, train);
@@ -88,20 +115,79 @@ impl Network {
         x
     }
 
+    /// Workspace forward core: input copied into an arena buffer, then
+    /// ping-ponged through every layer. The optional `hook` runs on the
+    /// input and after every layer.
+    fn forward_ws(
+        &mut self,
+        input: &Tensor,
+        ws: &mut Workspace,
+        hook: Option<ActivationHook<'_>>,
+    ) -> ActBuf {
+        let mut x = ws.acquire(input.shape().dims());
+        x.data_mut().copy_from_slice(input.data());
+        if let Some(h) = hook {
+            h(x.data_mut());
+        }
+        for layer in &mut self.layers {
+            x = layer.forward_into(x, ws, false);
+            if let Some(h) = hook {
+                h(x.data_mut());
+            }
+        }
+        assert_eq!(x.dims().last(), Some(&self.num_classes), "head produced wrong class count");
+        x
+    }
+
+    /// Zero-allocation inference: runs the workspace forward pass and
+    /// writes the `[n, num_classes]` logits into `out` (cleared and
+    /// resized, so a caller-reused vector reaches a steady state with no
+    /// heap traffic). This is the entry point the throughput bench's
+    /// allocations-per-image gauge measures.
+    pub fn forward_into_logits(&mut self, input: &Tensor, out: &mut Vec<f32>) {
+        with_thread_workspace(|ws| {
+            let logits = self.forward_ws(input, ws, None);
+            out.clear();
+            out.extend_from_slice(logits.data());
+            ws.release(logits);
+            ws.report_peak();
+        });
+    }
+
     /// Forward pass with an activation hook applied to the input and to the
     /// output of every layer — the reduced-precision load/store simulation
-    /// point.
+    /// point. The hook receives the activation's raw row-major data, which
+    /// both the allocating and the workspace path expose without a copy.
     pub fn forward_with_hook(
         &mut self,
         input: &Tensor,
         train: bool,
-        hook: &dyn Fn(&mut Tensor),
+        hook: &dyn Fn(&mut [f32]),
+    ) -> Tensor {
+        if train {
+            return self.forward_with_hook_reference(input, train, hook);
+        }
+        with_thread_workspace(|ws| {
+            let out = self.forward_ws(input, ws, Some(hook));
+            let t = out.to_tensor();
+            ws.release(out);
+            ws.report_peak();
+            t
+        })
+    }
+
+    /// Reference allocating variant of [`Network::forward_with_hook`].
+    pub fn forward_with_hook_reference(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        hook: &dyn Fn(&mut [f32]),
     ) -> Tensor {
         let mut x = input.clone();
-        hook(&mut x);
+        hook(x.data_mut());
         for layer in &mut self.layers {
             x = layer.forward(&x, train);
-            hook(&mut x);
+            hook(x.data_mut());
         }
         x
     }
@@ -115,25 +201,67 @@ impl Network {
     /// perturbs values within `tolerance` (reduced-precision rounding with
     /// a matching tolerance) passes.
     ///
+    /// Inference rides the workspace arena for activations; the checksum
+    /// expectations themselves are freshly allocated per guarded layer
+    /// (they are O(rows + cols), not O(activations)).
+    ///
     /// Returns the first checksum violation instead of logits.
     pub fn forward_checked(
         &mut self,
         input: &Tensor,
         train: bool,
-        hook: Option<&dyn Fn(&mut Tensor)>,
+        hook: Option<ActivationHook<'_>>,
+        tolerance: f32,
+    ) -> Result<Tensor, ChecksumFault> {
+        if train {
+            return self.forward_checked_reference(input, train, hook, tolerance);
+        }
+        with_thread_workspace(|ws| {
+            let mut x = ws.acquire(input.shape().dims());
+            x.data_mut().copy_from_slice(input.data());
+            if let Some(h) = hook {
+                h(x.data_mut());
+            }
+            for layer in &mut self.layers {
+                let (mut y, sums) = layer.forward_into_with_checksum(x, ws, false);
+                if let Some(h) = hook {
+                    h(y.data_mut());
+                }
+                if let Some(sums) = sums {
+                    if let Err(fault) = sums.verify(y.data(), tolerance) {
+                        ws.release(y);
+                        ws.report_peak();
+                        return Err(fault);
+                    }
+                }
+                x = y;
+            }
+            let t = x.to_tensor();
+            ws.release(x);
+            ws.report_peak();
+            Ok(t)
+        })
+    }
+
+    /// Reference allocating variant of [`Network::forward_checked`].
+    pub fn forward_checked_reference(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        hook: Option<ActivationHook<'_>>,
         tolerance: f32,
     ) -> Result<Tensor, ChecksumFault> {
         let mut x = input.clone();
         if let Some(h) = hook {
-            h(&mut x);
+            h(x.data_mut());
         }
         for layer in &mut self.layers {
             let (mut y, sums) = layer.forward_with_checksum(&x, train);
             if let Some(h) = hook {
-                h(&mut y);
+                h(y.data_mut());
             }
             if let Some(sums) = sums {
-                sums.verify(&y, tolerance)?;
+                sums.verify(y.data(), tolerance)?;
             }
             x = y;
         }
@@ -285,7 +413,7 @@ mod tests {
         let x = Tensor::uniform(vec![1, 1, 2, 4], -1.0, 1.0, &mut rng);
         // Zeroing hook wipes the input, so the output depends only on biases
         // (all zero at init) — logits must be exactly zero.
-        let out = net.forward_with_hook(&x, false, &|t: &mut Tensor| t.map_in_place(|_| 0.0));
+        let out = net.forward_with_hook(&x, false, &|d: &mut [f32]| d.fill(0.0));
         assert_eq!(out.data(), &[0.0, 0.0, 0.0]);
     }
 
@@ -310,16 +438,30 @@ mod tests {
         // input, then flatten, then dense — flatten/input are unguarded, so
         // target the third invocation).
         let calls = Cell::new(0usize);
-        let hook = |t: &mut Tensor| {
+        let hook = |d: &mut [f32]| {
             let c = calls.get();
             calls.set(c + 1);
             if c == 2 {
-                let d = t.data_mut();
                 d[1] = f32::from_bits(d[1].to_bits() ^ (1 << 30));
             }
         };
         let err = net.forward_checked(&x, false, Some(&hook), 1e-4);
         assert!(err.is_err(), "exponent flip on a dense output must be caught");
+    }
+
+    #[test]
+    fn workspace_forward_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::uniform(vec![5, 1, 2, 4], -1.0, 1.0, &mut rng);
+        let reference = net.forward_reference(&x, false);
+        let routed = net.forward(&x, false);
+        assert_eq!(routed.data(), reference.data());
+        assert_eq!(routed.shape().dims(), reference.shape().dims());
+
+        let mut logits = Vec::new();
+        net.forward_into_logits(&x, &mut logits);
+        assert_eq!(logits.as_slice(), reference.data());
     }
 
     #[test]

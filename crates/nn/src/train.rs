@@ -8,6 +8,13 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Mini-batch size shared by the inference-mode evaluation helpers
+/// ([`accuracy`] here, the sharded `evaluate` paths in `pgmr-core`): large
+/// enough to amortize per-batch dispatch overhead, small enough that a
+/// batch's activations stay cache-resident. Keeping every consumer on one
+/// constant also keeps workspace arenas at a single steady-state size.
+pub const INFER_BATCH: usize = 64;
+
 /// Training hyperparameters.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -184,7 +191,7 @@ pub fn accuracy(net: &mut Network, images: &[Tensor], labels: &[usize]) -> f64 {
     assert!(!images.is_empty(), "evaluation set is empty");
     assert_eq!(images.len(), labels.len(), "image/label count mismatch");
     let mut correct = 0usize;
-    for (chunk_imgs, chunk_labels) in images.chunks(64).zip(labels.chunks(64)) {
+    for (chunk_imgs, chunk_labels) in images.chunks(INFER_BATCH).zip(labels.chunks(INFER_BATCH)) {
         let batch = Tensor::stack_images(chunk_imgs);
         let probs = net.predict_proba(&batch);
         for (row, &label) in probs.iter().zip(chunk_labels) {

@@ -1,0 +1,139 @@
+//! Parity suite pinning the workspace (`forward_into`) inference path
+//! bit-identical to the allocating reference path, across every layer type
+//! the zoo exercises, ragged and full batch sizes, the hooked path, and
+//! the ABFT-checked path — plus the steady-state reuse guarantee.
+
+use pgmr_nn::workspace::thread_workspace_stats;
+use pgmr_nn::zoo::{self, ArchSpec};
+use pgmr_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Architectures covering all ten layer implementations: conv, pool (max
+/// and global-average), dense, batch-norm, flatten, relu, dropout,
+/// residual, dense block, and parallel (inception/resnext) branches.
+fn specs() -> Vec<ArchSpec> {
+    vec![
+        ArchSpec::lenet5(1, 16, 16, 10),
+        ArchSpec::convnet_dropout(1, 16, 16, 10),
+        ArchSpec::resnet20_mini(1, 16, 16, 10),
+        ArchSpec::densenet_mini(1, 16, 16, 10),
+        ArchSpec::googlenet_mini(1, 16, 16, 10),
+        ArchSpec::resnext_mini(1, 16, 16, 10),
+    ]
+}
+
+#[test]
+fn workspace_forward_matches_reference_across_zoo_and_batches() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for (i, spec) in specs().into_iter().enumerate() {
+        // 1 (single image), 7 (ragged), 64 (one full INFER_BATCH).
+        for &batch in &[1usize, 7, 64] {
+            let x = Tensor::uniform(vec![batch, 1, 16, 16], -1.0, 1.0, &mut rng);
+            let seed = 100 + i as u64;
+            let mut reference = zoo::build(&spec, seed);
+            let mut routed = zoo::build(&spec, seed);
+            let want = reference.forward_reference(&x, false);
+            let got = routed.forward(&x, false);
+            assert_eq!(
+                got.shape().dims(),
+                want.shape().dims(),
+                "shape diverged: {} batch {batch}",
+                spec.arch_id()
+            );
+            assert_eq!(
+                got.data(),
+                want.data(),
+                "workspace forward not bit-identical: {} batch {batch}",
+                spec.arch_id()
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_hooked_forward_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(43);
+    // A deterministic precision-truncation-style hook.
+    let hook = |d: &mut [f32]| {
+        for v in d {
+            *v = (*v * 8.0).round() / 8.0;
+        }
+    };
+    for (i, spec) in specs().into_iter().enumerate() {
+        let x = Tensor::uniform(vec![3, 1, 16, 16], -1.0, 1.0, &mut rng);
+        let seed = 200 + i as u64;
+        let mut reference = zoo::build(&spec, seed);
+        let mut routed = zoo::build(&spec, seed);
+        let want = reference.forward_with_hook_reference(&x, false, &hook);
+        let got = routed.forward_with_hook(&x, false, &hook);
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "hooked workspace forward not bit-identical: {}",
+            spec.arch_id()
+        );
+    }
+}
+
+#[test]
+fn workspace_checked_forward_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for (i, spec) in specs().into_iter().enumerate() {
+        let x = Tensor::uniform(vec![7, 1, 16, 16], -1.0, 1.0, &mut rng);
+        let seed = 300 + i as u64;
+        let mut reference = zoo::build(&spec, seed);
+        let mut routed = zoo::build(&spec, seed);
+        let want = reference
+            .forward_checked_reference(&x, false, None, 1e-4)
+            .expect("clean reference forward must verify");
+        let got = routed.forward_checked(&x, false, None, 1e-4).expect("clean forward must verify");
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "checked workspace forward not bit-identical: {}",
+            spec.arch_id()
+        );
+    }
+}
+
+#[test]
+fn workspace_reaches_steady_state_after_warmup() {
+    let mut rng = StdRng::seed_from_u64(45);
+    let spec = ArchSpec::lenet5(1, 16, 16, 10);
+    let mut net = zoo::build(&spec, 9);
+    let x = Tensor::uniform(vec![7, 1, 16, 16], -1.0, 1.0, &mut rng);
+    // Warmup sizes the arena for this (arch, batch) schedule.
+    let warm = net.forward(&x, false);
+    let stats = thread_workspace_stats();
+    assert!(stats.grows > 0, "warmup must have grown the arena");
+    assert!(stats.peak_bytes > 0);
+    let mut logits = Vec::new();
+    net.forward_into_logits(&x, &mut logits); // sizes the logits vector too
+    let steady = thread_workspace_stats();
+    for _ in 0..3 {
+        let again = net.forward(&x, false);
+        assert_eq!(again.data(), warm.data());
+        net.forward_into_logits(&x, &mut logits);
+        assert_eq!(logits.as_slice(), warm.data());
+    }
+    assert_eq!(
+        thread_workspace_stats().grows,
+        steady.grows,
+        "steady-state forwards must not regrow the arena"
+    );
+}
+
+#[test]
+fn training_path_stays_on_reference_semantics() {
+    // `forward(train=true)` must keep populating backward caches — the
+    // workspace routing applies to inference only.
+    let mut rng = StdRng::seed_from_u64(46);
+    let spec = ArchSpec::lenet5(1, 16, 16, 10);
+    let mut net = zoo::build(&spec, 11);
+    let x = Tensor::uniform(vec![2, 1, 16, 16], -1.0, 1.0, &mut rng);
+    let y = net.forward(&x, true);
+    // A backward pass right after a training forward must succeed.
+    let g = Tensor::ones(y.shape().dims().to_vec());
+    let _ = net.backward(&g);
+}

@@ -104,6 +104,17 @@ impl Precision {
         }
         t.map_in_place(|v| self.quantize(v));
     }
+
+    /// Quantizes a raw activation slice in place — the [`pgmr_nn::Network`]
+    /// hook form of [`Precision::quantize_tensor`].
+    pub fn quantize_slice(&self, data: &mut [f32]) {
+        if self.mantissa_bits() >= 23 {
+            return;
+        }
+        for v in data {
+            *v = self.quantize(*v);
+        }
+    }
 }
 
 impl fmt::Display for Precision {
@@ -144,9 +155,8 @@ impl QuantizedNetwork {
     pub fn predict_proba(&mut self, batch: &Tensor) -> Vec<Vec<f32>> {
         let precision = self.precision;
         let classes = self.net.num_classes();
-        let logits = self
-            .net
-            .forward_with_hook(batch, false, &|t: &mut Tensor| precision.quantize_tensor(t));
+        let logits =
+            self.net.forward_with_hook(batch, false, &|d: &mut [f32]| precision.quantize_slice(d));
         logits.data().chunks(classes).map(pgmr_tensor::softmax).collect()
     }
 

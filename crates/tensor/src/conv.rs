@@ -86,9 +86,26 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Vec<f32> {
     let (n, c, h, w) = image.shape().as_nchw();
     assert_eq!(n, 1, "im2col operates on single images");
     assert_eq!((c, h, w), (geom.in_c, geom.in_h, geom.in_w), "image shape disagrees with geometry");
-    let data = image.data();
+    let mut out = vec![0.0f32; geom.patch_len() * geom.out_spatial()];
+    im2col_into(image.data(), geom, &mut out);
+    out
+}
+
+/// [`im2col`] writing into a caller-provided buffer: unfolds the raw
+/// `c·h·w` data of one image (e.g. [`Tensor::image_view`]) into `out`,
+/// which must hold exactly `patch_len · out_spatial` elements. The buffer
+/// is zeroed first — padded taps rely on it — so it can be reused across
+/// images without reallocating.
+///
+/// # Panics
+///
+/// Panics if `image` or `out` disagree with `geom`'s element counts.
+pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
+    let (c, h, w) = (geom.in_c, geom.in_h, geom.in_w);
+    assert_eq!(image.len(), c * h * w, "image data disagrees with geometry");
     let cols = geom.out_spatial();
-    let mut out = vec![0.0f32; geom.patch_len() * cols];
+    assert_eq!(out.len(), geom.patch_len() * cols, "output buffer length mismatch");
+    out.fill(0.0);
     let k = geom.kernel;
     for ch in 0..c {
         let ch_base = ch * h * w;
@@ -102,7 +119,7 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Vec<f32> {
                     for ox in 0..geom.out_w {
                         let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
                         if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            out_row[col] = data[ch_base + iy as usize * w + ix as usize];
+                            out_row[col] = image[ch_base + iy as usize * w + ix as usize];
                         }
                         col += 1;
                     }
@@ -110,7 +127,6 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
 /// Folds a patch-space gradient (shape `[patch_len, out_h * out_w]`) back
@@ -210,6 +226,18 @@ mod tests {
         let cols = im2col(&img, &g);
         // Top-left output patch's top-left kernel tap reads padded zero.
         assert_eq!(cols[0], 0.0);
+    }
+
+    #[test]
+    fn im2col_into_matches_allocating_and_clears_stale_data() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 2, 1);
+        let img = Tensor::uniform(vec![1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let reference = im2col(&img, &g);
+        // Poison the reuse buffer: padded taps must still come out zero.
+        let mut buf = vec![f32::NAN; g.patch_len() * g.out_spatial()];
+        im2col_into(img.image_view(0), &g, &mut buf);
+        assert_eq!(buf, reference);
     }
 
     #[test]

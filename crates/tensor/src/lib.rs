@@ -36,7 +36,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use checksum::{checked_gemm, ChecksumFault, ChecksumKind, GemmChecksums};
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
 pub use gemm::{gemm, gemm_bias};
 pub use ops::{argmax, log_softmax, relu, relu_backward, softmax, softmax_in_place};
 pub use shape::Shape;
