@@ -4,7 +4,7 @@
 use pgmr_datasets::Dataset;
 use pgmr_faults::ActivationInjector;
 use pgmr_nn::zoo::{build, ArchSpec};
-use pgmr_nn::{Network, TrainConfig, TrainReport, Trainer};
+use pgmr_nn::{CheckPlan, Network, TrainConfig, TrainReport, Trainer};
 use pgmr_precision::Precision;
 use pgmr_preprocess::Preprocessor;
 use pgmr_tensor::checksum::ChecksumFault;
@@ -22,12 +22,13 @@ pub struct Member {
     network: Network,
     precision: Precision,
     fault: Option<ActivationInjector>,
+    protection: Option<CheckPlan>,
 }
 
 impl Member {
     /// Wraps an already-trained network.
     pub fn new(preprocessor: Preprocessor, network: Network) -> Self {
-        Member { preprocessor, network, precision: Precision::FULL, fault: None }
+        Member { preprocessor, network, precision: Precision::FULL, fault: None, protection: None }
     }
 
     /// Builds a fresh network from `spec` with `seed` and trains it on the
@@ -86,6 +87,34 @@ impl Member {
     /// The attached fault injector, if any.
     pub fn fault_injector(&self) -> Option<&ActivationInjector> {
         self.fault.as_ref()
+    }
+
+    /// Attaches (or clears) a selective-protection plan. When set,
+    /// [`Member::predict_checked`] verifies only the layers the plan
+    /// selects (and optionally duplicates the most critical one) instead
+    /// of checking every guarded layer. `None` — the default — is the
+    /// uniform full-ABFT behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's layer count disagrees with this member's
+    /// network.
+    pub fn set_protection(&mut self, plan: Option<CheckPlan>) {
+        if let Some(p) = &plan {
+            assert_eq!(
+                p.num_layers(),
+                self.network.num_layers(),
+                "protection plan covers {} layers, network has {}",
+                p.num_layers(),
+                self.network.num_layers()
+            );
+        }
+        self.protection = plan;
+    }
+
+    /// The active selective-protection plan, if any.
+    pub fn protection(&self) -> Option<&CheckPlan> {
+        self.protection.as_ref()
     }
 
     /// Widens an ABFT base tolerance to absorb this member's quantization
@@ -156,12 +185,12 @@ impl Member {
             }
         };
         let needs_hook = fault.is_some() || p != Precision::FULL;
-        let logits = self.network.forward_checked(
-            &x,
-            false,
-            if needs_hook { Some(&hook) } else { None },
-            tol,
-        )?;
+        let hook_opt: Option<pgmr_nn::network::ActivationHook<'_>> =
+            if needs_hook { Some(&hook) } else { None };
+        let logits = match &self.protection {
+            Some(plan) => self.network.forward_checked_plan(&x, false, hook_opt, tol, plan)?,
+            None => self.network.forward_checked(&x, false, hook_opt, tol)?,
+        };
         Ok(pgmr_tensor::softmax(logits.data()))
     }
 

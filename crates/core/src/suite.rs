@@ -13,6 +13,7 @@
 
 use crate::ensemble::Member;
 use pgmr_datasets::{families, Dataset, DatasetConfig, Split};
+use pgmr_faults::{ProfileConfig, VulnerabilityProfile};
 use pgmr_nn::serialize::{decode_params, encode_params};
 use pgmr_nn::zoo::ArchSpec;
 use pgmr_nn::TrainConfig;
@@ -357,16 +358,14 @@ impl Benchmark {
         self.dataset.generate(split, count)
     }
 
-    /// Trains (or loads from the disk cache) a member with the given
-    /// preprocessor and weight seed.
-    ///
-    /// The cache key covers everything that affects the weights: benchmark
-    /// id, scale, architecture, preprocessor, seed, and training recipe.
-    /// Set `PGMR_NO_CACHE=1` to force retraining.
-    pub fn member(&self, preprocessor: Preprocessor, seed: u64) -> Member {
+    /// The disk-cache key for a member: covers everything that affects the
+    /// weights (benchmark id, scale, architecture, preprocessor, seed, and
+    /// training recipe), so tuning any of them invalidates stale entries.
+    /// Sibling artifacts derived from the same weights (e.g. vulnerability
+    /// profiles) reuse this key with their own extension.
+    pub fn member_key(&self, preprocessor: Preprocessor, seed: u64) -> String {
         // The fingerprint covers every remaining input that shapes the
-        // weights (dataset knobs, learning-rate schedule), so tuning any of
-        // them invalidates stale cache entries.
+        // weights (dataset knobs, learning-rate schedule).
         let fingerprint = {
             let repr = format!("{:?}|{:?}", self.dataset, self.train_config);
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -376,7 +375,7 @@ impl Benchmark {
             }
             h
         };
-        let key = format!(
+        format!(
             "{}-{}-{}-{}-s{}-e{}-n{}-f{:016x}",
             self.id,
             self.scale.name(),
@@ -386,7 +385,16 @@ impl Benchmark {
             self.train_config.epochs,
             self.train_count,
             fingerprint,
-        );
+        )
+    }
+
+    /// Trains (or loads from the disk cache) a member with the given
+    /// preprocessor and weight seed.
+    ///
+    /// The cache key ([`Benchmark::member_key`]) covers everything that
+    /// affects the weights. Set `PGMR_NO_CACHE=1` to force retraining.
+    pub fn member(&self, preprocessor: Preprocessor, seed: u64) -> Member {
+        let key = self.member_key(preprocessor, seed);
         let cache_enabled = std::env::var("PGMR_NO_CACHE").is_err();
         let path = cache_path(&key);
         if cache_enabled {
@@ -408,6 +416,44 @@ impl Benchmark {
             let _ = std::fs::write(&path, blob);
         }
         member
+    }
+
+    /// Like [`Benchmark::member`], additionally resolving the member's
+    /// [`VulnerabilityProfile`]: the per-site SDC measurement that drives
+    /// selective protection. The profile is measured on a small fixed
+    /// slice of the validation split (preprocessed exactly as the member
+    /// sees it at inference time) and cached next to the weight blob as
+    /// `<member-key>.pgvp`; a corrupted or configuration-stale artifact
+    /// self-heals by re-running the campaign. `PGMR_NO_CACHE=1` bypasses
+    /// the artifact entirely.
+    pub fn member_with_profile(
+        &self,
+        preprocessor: Preprocessor,
+        seed: u64,
+        cfg: &ProfileConfig,
+    ) -> (Member, VulnerabilityProfile) {
+        /// Validation images the campaign cycles through per trial batch —
+        /// enough input diversity to excite every site without making the
+        /// measurement the slow step of a bench run.
+        const PROFILE_IMAGES: usize = 16;
+        let mut member = self.member(preprocessor, seed);
+        let val = self.data(Split::Val).truncated(PROFILE_IMAGES);
+        let inputs: Vec<_> =
+            val.images().iter().map(|img| member.preprocessor().apply(img)).collect();
+        let cache_enabled = std::env::var("PGMR_NO_CACHE").is_err();
+        let path = cache_dir().join(format!("{}.pgvp", self.member_key(preprocessor, seed)));
+        let profile = if cache_enabled {
+            VulnerabilityProfile::load_or_measure(&path, member.network_mut(), &inputs, cfg)
+                .map(|(profile, _)| profile)
+                // An unwritable cache dir degrades to measuring in-memory,
+                // mirroring the weight cache's best-effort writes.
+                .unwrap_or_else(|_| {
+                    VulnerabilityProfile::measure(member.network_mut(), &inputs, cfg)
+                })
+        } else {
+            VulnerabilityProfile::measure(member.network_mut(), &inputs, cfg)
+        };
+        (member, profile)
     }
 }
 
@@ -590,5 +636,33 @@ mod tests {
             assert_eq!(first.predict(img), second.predict(img));
         }
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn member_profile_caches_next_to_weights_and_round_trips() {
+        let _guard = CACHE_OVERRIDE_LOCK.lock().unwrap();
+        let b = Benchmark::lenet5_digits(Scale::Tiny);
+        let dir = std::env::temp_dir().join(format!("pgmr-profile-cache-{}", std::process::id()));
+        set_cache_dir(Some(dir.clone()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ProfileConfig { trials_per_site: 6, ..ProfileConfig::default() };
+        let (_, first) = b.member_with_profile(Preprocessor::Identity, 42, &cfg);
+        let pgvp: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "pgvp"))
+            .collect();
+        assert_eq!(pgvp.len(), 1, "one profile artifact next to the weight blob");
+        // Second resolution loads the artifact and reproduces the exact
+        // measurement; a different profiling config re-measures rather
+        // than serving the stale artifact.
+        let (_, second) = b.member_with_profile(Preprocessor::Identity, 42, &cfg);
+        assert_eq!(first, second);
+        let drifted = ProfileConfig { trials_per_site: 7, ..cfg };
+        let (_, third) = b.member_with_profile(Preprocessor::Identity, 42, &drifted);
+        set_cache_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(third.config.trials_per_site, 7);
+        assert_ne!(first.config.trials_per_site, third.config.trials_per_site);
     }
 }

@@ -6,8 +6,10 @@ use crate::ensemble::{Ensemble, Member};
 use crate::rade::{StagedDecision, StagedEngine};
 use crate::stream::ReliabilityMonitor;
 use pgmr_datasets::Dataset;
+use pgmr_faults::VulnerabilityProfile;
 use pgmr_metrics::RateSummary;
 use pgmr_nn::pool::{shard_ranges, WorkerPool};
+use pgmr_nn::ProtectionLevel;
 use pgmr_tensor::argmax;
 use pgmr_tensor::checksum::{ChecksumFault, DEFAULT_TOLERANCE};
 use pgmr_tensor::Tensor;
@@ -100,6 +102,7 @@ pub struct PolygraphSystem {
     thresholds: Thresholds,
     staged: Option<StagedEngine>,
     fault_policy: Option<FaultPolicy>,
+    protection_level: Option<ProtectionLevel>,
     /// Per-member activity flags; quarantine clears a flag.
     active: Vec<bool>,
     /// Per-member unrecovered checksum-fault counts.
@@ -118,6 +121,7 @@ impl PolygraphSystem {
             thresholds,
             staged: None,
             fault_policy: None,
+            protection_level: None,
             active: vec![true; n],
             strikes: vec![0; n],
             solo: vec![0; n],
@@ -183,6 +187,55 @@ impl PolygraphSystem {
     /// The active fault policy, if any.
     pub fn fault_policy(&self) -> Option<&FaultPolicy> {
         self.fault_policy.as_ref()
+    }
+
+    /// Applies a vulnerability-guided protection level to every member:
+    /// each member gets the [`pgmr_nn::CheckPlan`] its profile derives for
+    /// `level`, so guarded inference spends ABFT work only where measured
+    /// SDC contribution concentrates. Pass one profile to broadcast (the
+    /// usual case — a homogeneous-architecture ensemble shares one
+    /// measurement) or one per member. With `duplicate_critical`, each
+    /// member's single most vulnerable layer additionally runs duplicated
+    /// (compute-twice-compare). Sets the `protect.level` gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is neither 1 nor ensemble-sized, or a profile
+    /// does not map onto its member's network.
+    pub fn apply_protection(
+        &mut self,
+        level: ProtectionLevel,
+        profiles: &[VulnerabilityProfile],
+        duplicate_critical: bool,
+    ) {
+        let n = self.ensemble.len();
+        assert!(
+            profiles.len() == 1 || profiles.len() == n,
+            "need 1 (broadcast) or {n} profiles, got {}",
+            profiles.len()
+        );
+        for (m, member) in self.ensemble.members_mut().iter_mut().enumerate() {
+            let profile = &profiles[if profiles.len() == 1 { 0 } else { m }];
+            let layers = member.network().num_layers();
+            member.set_protection(Some(profile.plan(level, layers, duplicate_critical)));
+        }
+        self.protection_level = Some(level);
+        pgmr_obs::global().gauge("protect.level").set(level.gauge_value());
+    }
+
+    /// Removes every member's protection plan, restoring the uniform
+    /// full-ABFT guarded path (the pre-selective-protection behavior).
+    pub fn clear_protection(&mut self) {
+        for member in self.ensemble.members_mut() {
+            member.set_protection(None);
+        }
+        self.protection_level = None;
+    }
+
+    /// The applied protection level, if [`PolygraphSystem::apply_protection`]
+    /// has been called.
+    pub fn protection_level(&self) -> Option<ProtectionLevel> {
+        self.protection_level
     }
 
     /// Indices of quarantined members.
@@ -721,6 +774,86 @@ mod tests {
         assert_eq!(sequential, batched, "fault-path batch evaluation diverged");
         assert_eq!(seq_system.drain_fault_events(), batch_system.drain_fault_events());
         assert_eq!(seq_system.quarantined(), batch_system.quarantined());
+    }
+
+    #[test]
+    fn full_protection_is_bit_identical_to_uniform_guarded_path() {
+        use pgmr_faults::{
+            ActivationInjector, FaultSpec, ProfileConfig, SiteFilter, VulnerabilityProfile,
+            EXPONENT_BITS,
+        };
+        // Two identically-built systems under the same seeded fault barrage
+        // on member 1; one runs the historical uniformly-checked path (no
+        // plan), the other `ProtectionLevel::Full` derived from a measured
+        // profile. Every observable — verdicts, events, quarantine — must
+        // be bit-identical: Full is the old behavior by construction.
+        let configure = |system: &mut PolygraphSystem| {
+            let guarded = pgmr_faults::guarded_sites(system.ensemble().members()[1].network());
+            let spec = FaultSpec::transient_activations(13, 0.05)
+                .with_bits(EXPONENT_BITS)
+                .with_sites(SiteFilter::Only(guarded));
+            system.ensemble_mut().members_mut()[1]
+                .set_fault_injector(Some(ActivationInjector::new(&spec)));
+            system.set_fault_policy(Some(FaultPolicy {
+                quarantine_after: 3,
+                ..FaultPolicy::default()
+            }));
+        };
+        let (mut plain, test) = build_system();
+        let (mut protected, _) = build_system();
+        configure(&mut plain);
+        configure(&mut protected);
+        // Homogeneous architectures: one measured profile broadcasts.
+        let inputs = test.images()[..4].to_vec();
+        let cfg = ProfileConfig { trials_per_site: 4, ..ProfileConfig::default() };
+        let profile = VulnerabilityProfile::measure(
+            protected.ensemble_mut().members_mut()[0].network_mut(),
+            &inputs,
+            &cfg,
+        );
+        protected.apply_protection(ProtectionLevel::Full, &[profile], false);
+        assert_eq!(protected.protection_level(), Some(ProtectionLevel::Full));
+
+        let data = test.truncated(12);
+        let unprotected_run = plain.evaluate(&data);
+        let protected_run = protected.evaluate(&data);
+        assert_eq!(unprotected_run, protected_run, "Full protection changed verdicts");
+        assert_eq!(plain.drain_fault_events(), protected.drain_fault_events());
+        assert_eq!(plain.quarantined(), protected.quarantined());
+
+        protected.clear_protection();
+        assert_eq!(protected.protection_level(), None);
+        assert!(protected.ensemble().members().iter().all(|m| m.protection().is_none()));
+    }
+
+    #[test]
+    fn selective_protection_clean_run_matches_plain_verdicts() {
+        use pgmr_faults::{ProfileConfig, VulnerabilityProfile};
+        // On clean inputs, tiered protection (top-1 checks plus duplicated
+        // critical layer) is pure verification: verdicts, activations, and
+        // the quarantine set match the unprotected guarded run exactly.
+        let (mut system, test) = build_system();
+        system.set_fault_policy(Some(FaultPolicy::default()));
+        let data = test.truncated(20);
+        let before = system.evaluate(&data);
+
+        let inputs = test.images()[..4].to_vec();
+        let cfg = ProfileConfig { trials_per_site: 4, ..ProfileConfig::default() };
+        let profile = VulnerabilityProfile::measure(
+            system.ensemble_mut().members_mut()[0].network_mut(),
+            &inputs,
+            &cfg,
+        );
+        system.apply_protection(ProtectionLevel::Selective { top_k: 1 }, &[profile], true);
+        for member in system.ensemble().members() {
+            let plan = member.protection().expect("plan applied to every member");
+            assert_eq!(plan.checked_count(), 1);
+            assert!(plan.duplicated_layer().is_some());
+        }
+        let after = system.evaluate(&data);
+        assert_eq!(before, after, "clean selective protection must not change verdicts");
+        assert!(system.quarantined().is_empty());
+        assert!(system.drain_fault_events().is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! injector, and persistent weight corruption/repair.
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::ops::RangeInclusive;
 
 use pgmr_nn::Network;
@@ -178,6 +179,7 @@ pub struct ActivationInjector {
     sites: SiteFilter,
     site: Cell<usize>,
     injected: Cell<usize>,
+    site_flips: RefCell<BTreeMap<usize, usize>>,
 }
 
 impl ActivationInjector {
@@ -199,6 +201,7 @@ impl ActivationInjector {
             sites: spec.sites.clone(),
             site: Cell::new(0),
             injected: Cell::new(0),
+            site_flips: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -219,18 +222,31 @@ impl ActivationInjector {
         }
         let mut rng = self.rng.borrow_mut();
         let (lo, hi) = (*self.bits.start(), *self.bits.end());
+        let mut flipped = 0usize;
         for v in data {
             if rng.gen_bool(self.rate) {
                 let bit = rng.gen_range(lo..=hi);
                 *v = flip_bit(*v, bit);
-                self.injected.set(self.injected.get() + 1);
+                flipped += 1;
             }
+        }
+        if flipped > 0 {
+            self.injected.set(self.injected.get() + flipped);
+            *self.site_flips.borrow_mut().entry(site).or_insert(0) += flipped;
         }
     }
 
     /// Total flips injected since construction.
     pub fn injected(&self) -> usize {
         self.injected.get()
+    }
+
+    /// Flips injected since construction, resolved per site: sorted
+    /// `(site, count)` pairs, sites that never flipped omitted. This is
+    /// the per-site attribution campaigns use to turn trial outcomes into
+    /// a vulnerability ranking.
+    pub fn site_flips(&self) -> Vec<(usize, usize)> {
+        self.site_flips.borrow().iter().map(|(&s, &n)| (s, n)).collect()
     }
 }
 
@@ -243,6 +259,7 @@ impl Clone for ActivationInjector {
             sites: self.sites.clone(),
             site: Cell::new(self.site.get()),
             injected: Cell::new(self.injected.get()),
+            site_flips: RefCell::new(self.site_flips.borrow().clone()),
         }
     }
 }

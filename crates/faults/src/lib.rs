@@ -36,13 +36,19 @@
 
 pub mod campaign;
 pub mod inject;
+pub mod profile;
 
 pub use campaign::{
-    run_activation_campaign, run_activation_campaign_with, run_weight_campaign,
-    run_weight_campaign_with, CampaignConfig, CampaignReport, TrialOutcome,
+    run_activation_campaign, run_activation_campaign_with, run_activation_site_sweep,
+    run_activation_site_sweep_with, run_weight_campaign, run_weight_campaign_with,
+    run_weight_site_sweep, run_weight_site_sweep_with, CampaignConfig, CampaignReport,
+    SiteSweepConfig, SiteTally, TrialOutcome,
 };
 pub use inject::{
     flip_bit, guarded_sites, inject_weights, repair_weights, ActivationInjector, FaultMode,
     FaultRecord, FaultSpec, FaultTarget, SiteFilter, ANY_BIT, EXPONENT_BITS, MANTISSA_BITS,
     SIGN_BIT,
+};
+pub use profile::{
+    ProfileConfig, ProfileDecodeError, ProfileSource, SiteVulnerability, VulnerabilityProfile,
 };

@@ -1,0 +1,551 @@
+//! Measured per-site vulnerability profiles and the selective-protection
+//! plans derived from them.
+//!
+//! A [`VulnerabilityProfile`] records, for one architecture, how often
+//! transient faults at each guarded activation site turned into silent
+//! data corruption when nothing was protected — the measurement HarDNN
+//! argues concentrates in a few layers. Profiles are persisted next to
+//! the cached weight blobs in a digest-verified binary format (same
+//! FNV-1a primitive as the v3 weight codec) and *self-heal*: a corrupted,
+//! stale, or mismatched artifact is silently replaced by re-running the
+//! measurement campaign.
+//!
+//! ```text
+//! magic  b"PGVP"
+//! version u16
+//! body_len u32                          (bytes after the checksum field)
+//! checksum u64                          (FNV-1a over the body)
+//! body:
+//!   arch_id len u16 + utf-8 bytes
+//!   seed u64, rate f64, bits lo u8 + hi u8, trials_per_site u32
+//!   site count u32
+//!   per site: site u32, masked u32, sdc u32, detected u32, injected u64
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::ops::RangeInclusive;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use pgmr_nn::pool::WorkerPool;
+use pgmr_nn::serialize::fnv1a;
+use pgmr_nn::{CheckPlan, Network, ProtectionLevel};
+use pgmr_tensor::Tensor;
+
+use crate::campaign::{run_activation_site_sweep, run_activation_site_sweep_with, SiteSweepConfig};
+use crate::inject::{guarded_sites, ANY_BIT};
+
+const MAGIC: &[u8; 4] = b"PGVP";
+const VERSION: u16 = 1;
+
+/// Parameters of a vulnerability measurement: the per-site activation
+/// campaign a profile is derived from. Two profiles are comparable only
+/// when their configs match, so the config is persisted inside the
+/// artifact and checked on load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileConfig {
+    /// Trials devoted to each guarded site.
+    pub trials_per_site: usize,
+    /// Measurement seed.
+    pub seed: u64,
+    /// Per-element flip probability per trial.
+    pub rate: f64,
+    /// Eligible bit positions.
+    pub bits: RangeInclusive<u8>,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig { trials_per_site: 40, seed: 0, rate: 1e-3, bits: ANY_BIT }
+    }
+}
+
+impl ProfileConfig {
+    /// True when `other` describes the identical measurement (bit-exact
+    /// rate comparison: these are configuration constants, not computed
+    /// quantities).
+    fn same_measurement(&self, other: &ProfileConfig) -> bool {
+        self.trials_per_site == other.trials_per_site
+            && self.seed == other.seed
+            && self.rate.to_bits() == other.rate.to_bits()
+            && self.bits == other.bits
+    }
+}
+
+/// Measured outcome tallies for one guarded activation site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteVulnerability {
+    /// Hook-site index (site `s` is the output of layer `s − 1`).
+    pub site: usize,
+    /// Trials whose faults were absorbed.
+    pub masked: usize,
+    /// Trials that ended in silent data corruption — the ranking key.
+    pub sdc: usize,
+    /// Trials stopped by a checksum (zero for unguarded measurement).
+    pub detected: usize,
+    /// Bit flips injected at this site.
+    pub injected: usize,
+}
+
+/// A persisted per-site SDC-contribution measurement for one
+/// architecture, from which [`CheckPlan`]s are derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VulnerabilityProfile {
+    /// Architecture the measurement ran against.
+    pub arch_id: String,
+    /// The campaign parameters that produced it.
+    pub config: ProfileConfig,
+    /// Per-site tallies, sorted by site index.
+    pub sites: Vec<SiteVulnerability>,
+}
+
+/// Where [`VulnerabilityProfile::load_or_measure`] got its profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileSource {
+    /// Decoded from a valid on-disk artifact.
+    Cached,
+    /// Measured fresh (no artifact, corruption, or config/arch mismatch)
+    /// and re-persisted.
+    Measured,
+}
+
+/// Error decoding a profile artifact. Any of these triggers the
+/// self-healing re-measurement path in
+/// [`VulnerabilityProfile::load_or_measure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileDecodeError {
+    /// The blob does not start with the expected magic bytes.
+    BadMagic,
+    /// The blob's format version is unsupported.
+    BadVersion(u16),
+    /// The blob ended before all declared data was read.
+    Truncated,
+    /// The body digest does not match — storage corruption.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for ProfileDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileDecodeError::BadMagic => write!(f, "missing PGVP magic bytes"),
+            ProfileDecodeError::BadVersion(v) => write!(f, "unsupported profile version {v}"),
+            ProfileDecodeError::Truncated => write!(f, "profile truncated"),
+            ProfileDecodeError::ChecksumMismatch => {
+                write!(f, "profile checksum mismatch (storage corruption)")
+            }
+        }
+    }
+}
+
+impl Error for ProfileDecodeError {}
+
+impl VulnerabilityProfile {
+    /// Measures a profile by sweeping unguarded transient activation
+    /// faults over every guarded site of `net` (see
+    /// [`run_activation_site_sweep`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or `net` has no guarded sites.
+    pub fn measure(net: &mut Network, inputs: &[Tensor], cfg: &ProfileConfig) -> Self {
+        let report = run_activation_site_sweep(net, inputs, &Self::sweep_config(net, cfg));
+        Self::from_report(net, cfg, report)
+    }
+
+    /// Like [`VulnerabilityProfile::measure`], with per-site campaigns sharded
+    /// across `pool`; the profile is bit-identical to the sequential one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or `net` has no guarded sites.
+    pub fn measure_with(
+        net: &mut Network,
+        inputs: &[Tensor],
+        cfg: &ProfileConfig,
+        pool: &WorkerPool,
+    ) -> Self {
+        let report =
+            run_activation_site_sweep_with(net, inputs, &Self::sweep_config(net, cfg), pool);
+        Self::from_report(net, cfg, report)
+    }
+
+    fn sweep_config(net: &Network, cfg: &ProfileConfig) -> SiteSweepConfig {
+        let sites = guarded_sites(net);
+        assert!(!sites.is_empty(), "{} has no guarded sites to profile", net.arch_id());
+        SiteSweepConfig {
+            trials_per_site: cfg.trials_per_site,
+            seed: cfg.seed,
+            rate: cfg.rate,
+            bits: cfg.bits.clone(),
+            sites,
+            // Unguarded measurement: the profile asks where faults *become*
+            // SDCs, not where the checksums would have stopped them.
+            checksums: false,
+            ..SiteSweepConfig::default()
+        }
+    }
+
+    fn from_report(
+        net: &Network,
+        cfg: &ProfileConfig,
+        report: crate::campaign::CampaignReport,
+    ) -> Self {
+        let sites = report
+            .per_site
+            .into_iter()
+            .map(|t| SiteVulnerability {
+                site: t.site,
+                masked: t.masked,
+                sdc: t.sdc,
+                detected: t.detected,
+                injected: t.injected,
+            })
+            .collect();
+        VulnerabilityProfile { arch_id: net.arch_id().to_string(), config: cfg.clone(), sites }
+    }
+
+    /// Sites ranked by SDC contribution: most vulnerable first, site
+    /// index breaking ties (so the ranking is total and deterministic).
+    pub fn ranking(&self) -> Vec<&SiteVulnerability> {
+        let mut ranked: Vec<&SiteVulnerability> = self.sites.iter().collect();
+        ranked.sort_by(|a, b| b.sdc.cmp(&a.sdc).then(a.site.cmp(&b.site)));
+        ranked
+    }
+
+    /// The single most SDC-prone site, if the profile is non-empty.
+    pub fn most_critical_site(&self) -> Option<usize> {
+        self.ranking().first().map(|v| v.site)
+    }
+
+    /// Derives the [`CheckPlan`] a [`ProtectionLevel`] asks for, for a
+    /// network with `num_layers` layers. Hook site `s` is the output of
+    /// layer `s − 1`, so the plan checks layer `s − 1` for each selected
+    /// site. With `duplicate_critical`, the most vulnerable layer also
+    /// runs duplicated (compute-twice-compare) — except under
+    /// [`ProtectionLevel::Off`], which disables everything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a profiled site maps outside the network's layers.
+    pub fn plan(
+        &self,
+        level: ProtectionLevel,
+        num_layers: usize,
+        duplicate_critical: bool,
+    ) -> CheckPlan {
+        let mut plan = match level {
+            ProtectionLevel::Off => return CheckPlan::off(num_layers),
+            ProtectionLevel::Full => CheckPlan::full(num_layers),
+            ProtectionLevel::Selective { top_k } => {
+                let mut check = vec![false; num_layers];
+                for v in self.ranking().into_iter().take(top_k) {
+                    assert!(
+                        v.site >= 1 && v.site <= num_layers,
+                        "profiled site {} does not map to a layer of a {num_layers}-layer network",
+                        v.site
+                    );
+                    check[v.site - 1] = true;
+                }
+                CheckPlan::new(check, None)
+            }
+        };
+        if duplicate_critical {
+            if let Some(site) = self.most_critical_site() {
+                assert!(
+                    site >= 1 && site <= num_layers,
+                    "profiled site {site} does not map to a layer of a {num_layers}-layer network"
+                );
+                plan.set_duplicate(Some(site - 1));
+            }
+        }
+        plan
+    }
+
+    /// Serializes the profile (see the module docs for the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        let arch = self.arch_id.as_bytes();
+        body.put_u16_le(arch.len() as u16);
+        body.put_slice(arch);
+        body.put_u64_le(self.config.seed);
+        // The compat `bytes` stub has no f64 accessors; the bit pattern
+        // round-trips exactly either way.
+        body.put_u64_le(self.config.rate.to_bits());
+        body.put_u8(*self.config.bits.start());
+        body.put_u8(*self.config.bits.end());
+        body.put_u32_le(self.config.trials_per_site as u32);
+        body.put_u32_le(self.sites.len() as u32);
+        for v in &self.sites {
+            body.put_u32_le(v.site as u32);
+            body.put_u32_le(v.masked as u32);
+            body.put_u32_le(v.sdc as u32);
+            body.put_u32_le(v.detected as u32);
+            body.put_u64_le(v.injected as u64);
+        }
+        let mut buf = BytesMut::with_capacity(body.len() + 18);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u32_le(body.len() as u32);
+        buf.put_u64_le(fnv1a(&body));
+        buf.put_slice(&body);
+        buf.to_vec()
+    }
+
+    /// Decodes a profile artifact produced by
+    /// [`VulnerabilityProfile::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProfileDecodeError`] when the blob is malformed or its
+    /// digest does not match.
+    pub fn decode(blob: &[u8]) -> Result<Self, ProfileDecodeError> {
+        let mut buf = blob;
+        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+            return Err(ProfileDecodeError::BadMagic);
+        }
+        buf.advance(4);
+        if buf.remaining() < 2 {
+            return Err(ProfileDecodeError::Truncated);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(ProfileDecodeError::BadVersion(version));
+        }
+        if buf.remaining() < 12 {
+            return Err(ProfileDecodeError::Truncated);
+        }
+        let body_len = buf.get_u32_le() as usize;
+        let checksum = buf.get_u64_le();
+        if buf.remaining() < body_len {
+            return Err(ProfileDecodeError::Truncated);
+        }
+        if fnv1a(&buf[..body_len]) != checksum {
+            return Err(ProfileDecodeError::ChecksumMismatch);
+        }
+        if buf.remaining() < 2 {
+            return Err(ProfileDecodeError::Truncated);
+        }
+        let arch_len = buf.get_u16_le() as usize;
+        if buf.remaining() < arch_len {
+            return Err(ProfileDecodeError::Truncated);
+        }
+        let arch_id = String::from_utf8_lossy(&buf[..arch_len]).into_owned();
+        buf.advance(arch_len);
+        if buf.remaining() < 8 + 8 + 2 + 4 + 4 {
+            return Err(ProfileDecodeError::Truncated);
+        }
+        let seed = buf.get_u64_le();
+        let rate = f64::from_bits(buf.get_u64_le());
+        let lo = buf.get_u8();
+        let hi = buf.get_u8();
+        let trials_per_site = buf.get_u32_le() as usize;
+        let count = buf.get_u32_le() as usize;
+        let mut sites = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 4 * 4 + 8 {
+                return Err(ProfileDecodeError::Truncated);
+            }
+            sites.push(SiteVulnerability {
+                site: buf.get_u32_le() as usize,
+                masked: buf.get_u32_le() as usize,
+                sdc: buf.get_u32_le() as usize,
+                detected: buf.get_u32_le() as usize,
+                injected: buf.get_u64_le() as usize,
+            });
+        }
+        let config = ProfileConfig { trials_per_site, seed, rate, bits: lo..=hi };
+        Ok(VulnerabilityProfile { arch_id, config, sites })
+    }
+
+    /// Loads the profile for `net` from `path`, or measures and persists
+    /// it. Any decode failure, architecture mismatch, or measurement-
+    /// config mismatch silently *self-heals*: the campaign re-runs and
+    /// the fresh artifact overwrites the stale one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for filesystem failures while writing the
+    /// refreshed artifact (a missing or unreadable file just re-measures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or `net` has no guarded sites.
+    pub fn load_or_measure(
+        path: &Path,
+        net: &mut Network,
+        inputs: &[Tensor],
+        cfg: &ProfileConfig,
+    ) -> std::io::Result<(Self, ProfileSource)> {
+        if let Ok(blob) = std::fs::read(path) {
+            if let Ok(profile) = Self::decode(&blob) {
+                if profile.arch_id == net.arch_id() && profile.config.same_measurement(cfg) {
+                    return Ok((profile, ProfileSource::Cached));
+                }
+            }
+        }
+        let profile = Self::measure(net, inputs, cfg);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, profile.encode())?;
+        Ok((profile, ProfileSource::Measured))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgmr_nn::layer::Layer;
+    use pgmr_nn::layers::{Conv2d, Dense, Flatten, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net_and_inputs() -> (Network, Vec<Tensor>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(1, 4, 8, 8, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 8 * 8, 6, &mut rng)),
+        ];
+        let net = Network::new(layers, "profile-net", 6);
+        let inputs =
+            (0..4).map(|_| Tensor::uniform(vec![1, 1, 8, 8], -1.0, 1.0, &mut rng)).collect();
+        (net, inputs)
+    }
+
+    fn test_config() -> ProfileConfig {
+        ProfileConfig {
+            trials_per_site: 20,
+            seed: 9,
+            rate: 5e-3,
+            bits: crate::inject::EXPONENT_BITS,
+        }
+    }
+
+    #[test]
+    fn measurement_covers_guarded_sites_and_is_deterministic() {
+        let (mut net, inputs) = net_and_inputs();
+        let cfg = test_config();
+        let a = VulnerabilityProfile::measure(&mut net, &inputs, &cfg);
+        let b = VulnerabilityProfile::measure(&mut net, &inputs, &cfg);
+        assert_eq!(a, b);
+        let sites: Vec<usize> = a.sites.iter().map(|v| v.site).collect();
+        assert_eq!(sites, guarded_sites(&net));
+        // Unguarded measurement can never classify a trial as detected.
+        assert!(a.sites.iter().all(|v| v.detected == 0));
+        let pool = WorkerPool::new(3);
+        assert_eq!(VulnerabilityProfile::measure_with(&mut net, &inputs, &cfg, &pool), a);
+    }
+
+    #[test]
+    fn ranking_is_sdc_descending_with_site_tiebreak() {
+        let profile = VulnerabilityProfile {
+            arch_id: "x".into(),
+            config: ProfileConfig::default(),
+            sites: vec![
+                SiteVulnerability { site: 1, masked: 5, sdc: 2, detected: 0, injected: 9 },
+                SiteVulnerability { site: 3, masked: 1, sdc: 7, detected: 0, injected: 8 },
+                SiteVulnerability { site: 4, masked: 2, sdc: 2, detected: 0, injected: 4 },
+            ],
+        };
+        let ranked: Vec<usize> = profile.ranking().iter().map(|v| v.site).collect();
+        assert_eq!(ranked, vec![3, 1, 4]);
+        assert_eq!(profile.most_critical_site(), Some(3));
+    }
+
+    #[test]
+    fn plans_follow_the_protection_level() {
+        let profile = VulnerabilityProfile {
+            arch_id: "x".into(),
+            config: ProfileConfig::default(),
+            sites: vec![
+                SiteVulnerability { site: 1, masked: 5, sdc: 2, detected: 0, injected: 9 },
+                SiteVulnerability { site: 4, masked: 1, sdc: 7, detected: 0, injected: 8 },
+            ],
+        };
+        let full = profile.plan(ProtectionLevel::Full, 4, false);
+        assert_eq!(full, CheckPlan::full(4));
+        let off = profile.plan(ProtectionLevel::Off, 4, true);
+        assert_eq!(off, CheckPlan::off(4), "Off disables duplication too");
+        let top1 = profile.plan(ProtectionLevel::Selective { top_k: 1 }, 4, false);
+        assert!(top1.checks(3), "site 4 is layer 3");
+        assert!(!top1.checks(0) && !top1.checks(1) && !top1.checks(2));
+        let dup = profile.plan(ProtectionLevel::Selective { top_k: 2 }, 4, true);
+        assert!(dup.checks(0) && dup.checks(3));
+        assert_eq!(dup.duplicated_layer(), Some(3));
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let (mut net, inputs) = net_and_inputs();
+        let profile = VulnerabilityProfile::measure(&mut net, &inputs, &test_config());
+        let decoded = VulnerabilityProfile::decode(&profile.encode()).expect("clean round trip");
+        assert_eq!(decoded, profile);
+    }
+
+    #[test]
+    fn single_bit_flips_anywhere_are_rejected() {
+        let (mut net, inputs) = net_and_inputs();
+        let profile = VulnerabilityProfile::measure(&mut net, &inputs, &test_config());
+        let blob = profile.encode();
+        // Header flips trip magic/version/length checks; body flips (from
+        // byte 18) trip the FNV digest.
+        for pos in [0usize, 5, 18, blob.len() / 2, blob.len() - 1] {
+            for bit in [0u8, 3, 7] {
+                let mut bad = blob.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(
+                    VulnerabilityProfile::decode(&bad).is_err(),
+                    "bit {bit} of byte {pos} flipped silently"
+                );
+            }
+        }
+        let mut bad = blob.clone();
+        bad[blob.len() - 2] ^= 0x10;
+        assert_eq!(VulnerabilityProfile::decode(&bad), Err(ProfileDecodeError::ChecksumMismatch));
+        let cut = &blob[..blob.len() / 2];
+        assert_eq!(VulnerabilityProfile::decode(cut), Err(ProfileDecodeError::Truncated));
+    }
+
+    #[test]
+    fn load_or_measure_self_heals_corruption_and_mismatches() {
+        let (mut net, inputs) = net_and_inputs();
+        let cfg = test_config();
+        let dir = std::env::temp_dir().join(format!("pgvp-test-{}", std::process::id()));
+        let path = dir.join("profile-net.pgvp");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First call measures and persists.
+        let (fresh, src) =
+            VulnerabilityProfile::load_or_measure(&path, &mut net, &inputs, &cfg).unwrap();
+        assert_eq!(src, ProfileSource::Measured);
+        // Second call hits the cache, bit-identically.
+        let (cached, src) =
+            VulnerabilityProfile::load_or_measure(&path, &mut net, &inputs, &cfg).unwrap();
+        assert_eq!(src, ProfileSource::Cached);
+        assert_eq!(cached, fresh);
+
+        // A flipped byte in the artifact self-heals by re-measuring.
+        let mut blob = std::fs::read(&path).unwrap();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x04;
+        std::fs::write(&path, &blob).unwrap();
+        let (healed, src) =
+            VulnerabilityProfile::load_or_measure(&path, &mut net, &inputs, &cfg).unwrap();
+        assert_eq!(src, ProfileSource::Measured, "corruption must trigger re-measurement");
+        assert_eq!(healed, fresh);
+        // And the healed artifact is valid again.
+        let reread = VulnerabilityProfile::decode(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(reread, fresh);
+
+        // A changed measurement config also re-measures.
+        let other = ProfileConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        let (_, src) =
+            VulnerabilityProfile::load_or_measure(&path, &mut net, &inputs, &other).unwrap();
+        assert_eq!(src, ProfileSource::Measured, "config drift must trigger re-measurement");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

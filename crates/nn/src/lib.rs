@@ -22,6 +22,9 @@
 //! * [`pool`] — the workspace's shared worker pool (persistent threads,
 //!   ordered results, panic propagation) behind parallel training,
 //!   batched inference, and fault campaigns,
+//! * [`protect`] — selective-protection policy types
+//!   ([`protect::CheckPlan`], [`protect::ProtectionLevel`]) consumed by
+//!   the plan-aware ABFT forward pass,
 //! * [`zoo`] — the six benchmark architectures of the paper's Table II,
 //!   scaled to this repository's synthetic datasets,
 //! * [`workspace`] — the reusable inference arena behind the
@@ -60,6 +63,7 @@ pub mod loss;
 pub mod network;
 pub mod optim;
 pub mod pool;
+pub mod protect;
 pub mod serialize;
 pub mod train;
 pub mod workspace;
@@ -68,5 +72,6 @@ pub mod zoo;
 pub use layer::{Layer, LayerCost, ParamSlot};
 pub use network::Network;
 pub use pool::WorkerPool;
+pub use protect::{CheckPlan, ProtectionLevel};
 pub use train::{TrainConfig, TrainReport, Trainer, INFER_BATCH};
 pub use workspace::{ActBuf, Workspace};

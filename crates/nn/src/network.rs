@@ -1,8 +1,9 @@
 //! Sequential network container.
 
 use crate::layer::{Layer, LayerCost, ParamSlot};
+use crate::protect::CheckPlan;
 use crate::workspace::{with_thread_workspace, ActBuf, Workspace};
-use pgmr_tensor::checksum::ChecksumFault;
+use pgmr_tensor::checksum::{ChecksumFault, ChecksumKind};
 use pgmr_tensor::{softmax, Tensor};
 
 /// An activation hook: runs on the network input and on every layer
@@ -213,34 +214,8 @@ impl Network {
         hook: Option<ActivationHook<'_>>,
         tolerance: f32,
     ) -> Result<Tensor, ChecksumFault> {
-        if train {
-            return self.forward_checked_reference(input, train, hook, tolerance);
-        }
-        with_thread_workspace(|ws| {
-            let mut x = ws.acquire(input.shape().dims());
-            x.data_mut().copy_from_slice(input.data());
-            if let Some(h) = hook {
-                h(x.data_mut());
-            }
-            for layer in &mut self.layers {
-                let (mut y, sums) = layer.forward_into_with_checksum(x, ws, false);
-                if let Some(h) = hook {
-                    h(y.data_mut());
-                }
-                if let Some(sums) = sums {
-                    if let Err(fault) = sums.verify(y.data(), tolerance) {
-                        ws.release(y);
-                        ws.report_peak();
-                        return Err(fault);
-                    }
-                }
-                x = y;
-            }
-            let t = x.to_tensor();
-            ws.release(x);
-            ws.report_peak();
-            Ok(t)
-        })
+        let plan = CheckPlan::full(self.layers.len());
+        self.forward_checked_plan(input, train, hook, tolerance, &plan)
     }
 
     /// Reference allocating variant of [`Network::forward_checked`].
@@ -251,21 +226,153 @@ impl Network {
         hook: Option<ActivationHook<'_>>,
         tolerance: f32,
     ) -> Result<Tensor, ChecksumFault> {
-        let mut x = input.clone();
-        if let Some(h) = hook {
-            h(x.data_mut());
+        let plan = CheckPlan::full(self.layers.len());
+        self.forward_checked_plan_reference(input, train, hook, tolerance, &plan)
+    }
+
+    /// ABFT-guarded forward pass under a selective-protection
+    /// [`CheckPlan`]: layers the plan checks derive and verify their
+    /// Huang–Abraham checksums exactly like [`Network::forward_checked`];
+    /// layers it skips run the plain `forward_into` path, paying no
+    /// checksum derivation at all. At most one layer may additionally be
+    /// *duplicated*: its output is recomputed from a pristine copy of the
+    /// input (no hook on the second run, so injector site counters advance
+    /// identically with or without duplication) and compared element-wise
+    /// under the same relative-plus-absolute bound the checksum verifier
+    /// uses; a disagreement surfaces as a [`ChecksumKind::Recompute`]
+    /// fault. Duplication assumes the layer is deterministic in inference
+    /// mode — every guarded (dense/conv) layer is.
+    ///
+    /// `CheckPlan::full(n)` makes this bit-identical to the uniform
+    /// checked path; `CheckPlan::off(n)` verifies nothing.
+    ///
+    /// Per pass, the number of guarded layers verified / skipped and
+    /// duplicate executions are flushed to the `abft.checked_total`,
+    /// `abft.skipped_total`, and `dup.exec_total` observability counters
+    /// (also on the early-fault path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's layer count disagrees with the network's.
+    pub fn forward_checked_plan(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        hook: Option<ActivationHook<'_>>,
+        tolerance: f32,
+        plan: &CheckPlan,
+    ) -> Result<Tensor, ChecksumFault> {
+        if train {
+            return self.forward_checked_plan_reference(input, train, hook, tolerance, plan);
         }
-        for layer in &mut self.layers {
-            let (mut y, sums) = layer.forward_with_checksum(&x, train);
+        self.assert_plan(plan);
+        let mut tally = ProtectTally::default();
+        let result = with_thread_workspace(|ws| {
+            let mut x = ws.acquire(input.shape().dims());
+            x.data_mut().copy_from_slice(input.data());
             if let Some(h) = hook {
-                h(y.data_mut());
+                h(x.data_mut());
             }
-            if let Some(sums) = sums {
-                sums.verify(y.data(), tolerance)?;
+            for (i, layer) in self.layers.iter_mut().enumerate() {
+                tally.record(layer.as_ref(), plan, i);
+                let copy = if plan.duplicates(i) {
+                    let mut c = ws.acquire(x.dims());
+                    c.data_mut().copy_from_slice(x.data());
+                    Some(c)
+                } else {
+                    None
+                };
+                let (mut y, sums) = if plan.checks(i) {
+                    layer.forward_into_with_checksum(x, ws, false)
+                } else {
+                    (layer.forward_into(x, ws, false), None)
+                };
+                if let Some(h) = hook {
+                    h(y.data_mut());
+                }
+                if let Some(c) = copy {
+                    let y2 = layer.forward_into(c, ws, false);
+                    let verdict = compare_duplicate(y.data(), y2.data(), tolerance);
+                    ws.release(y2);
+                    if let Err(fault) = verdict {
+                        ws.release(y);
+                        ws.report_peak();
+                        return Err(fault);
+                    }
+                }
+                if let Some(sums) = sums {
+                    if let Err(fault) = sums.verify(y.data(), tolerance) {
+                        ws.release(y);
+                        ws.report_peak();
+                        return Err(fault);
+                    }
+                }
+                x = y;
             }
-            x = y;
-        }
-        Ok(x)
+            assert_eq!(x.dims().last(), Some(&self.num_classes), "head produced wrong class count");
+            let t = x.to_tensor();
+            ws.release(x);
+            ws.report_peak();
+            Ok(t)
+        });
+        tally.flush();
+        result
+    }
+
+    /// Reference allocating variant of [`Network::forward_checked_plan`].
+    pub fn forward_checked_plan_reference(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        hook: Option<ActivationHook<'_>>,
+        tolerance: f32,
+        plan: &CheckPlan,
+    ) -> Result<Tensor, ChecksumFault> {
+        self.assert_plan(plan);
+        let mut tally = ProtectTally::default();
+        let result = (|| {
+            let mut x = input.clone();
+            if let Some(h) = hook {
+                h(x.data_mut());
+            }
+            for (i, layer) in self.layers.iter_mut().enumerate() {
+                tally.record(layer.as_ref(), plan, i);
+                let copy = if plan.duplicates(i) { Some(x.clone()) } else { None };
+                let (mut y, sums) = if plan.checks(i) {
+                    layer.forward_with_checksum(&x, train)
+                } else {
+                    (layer.forward(&x, train), None)
+                };
+                if let Some(h) = hook {
+                    h(y.data_mut());
+                }
+                if let Some(c) = copy {
+                    // The duplicate run always executes in inference mode:
+                    // a training-mode recompute would double-apply
+                    // batch-norm statistics updates and redraw dropout.
+                    let y2 = layer.forward(&c, false);
+                    compare_duplicate(y.data(), y2.data(), tolerance)?;
+                }
+                if let Some(sums) = sums {
+                    sums.verify(y.data(), tolerance)?;
+                }
+                x = y;
+            }
+            Ok(x)
+        })();
+        tally.flush();
+        result
+    }
+
+    fn assert_plan(&self, plan: &CheckPlan) {
+        assert_eq!(
+            plan.num_layers(),
+            self.layers.len(),
+            "check plan covers {} layers, network {} has {}",
+            plan.num_layers(),
+            self.arch_id,
+            self.layers.len()
+        );
     }
 
     /// Runs the backward pass from the loss gradient w.r.t. the logits.
@@ -362,6 +469,72 @@ impl Network {
             layer.visit_buffers(f);
         }
     }
+}
+
+/// Per-pass selective-protection accounting, flushed to the global
+/// observability registry once per guarded forward (including the
+/// early-fault path) so counter traffic stays off the per-layer hot path.
+/// Only nonzero counts are flushed, keeping unrelated snapshots free of
+/// spurious zero-valued series.
+#[derive(Default)]
+struct ProtectTally {
+    checked: u64,
+    skipped: u64,
+    duplicated: u64,
+}
+
+impl ProtectTally {
+    fn record(&mut self, layer: &dyn Layer, plan: &CheckPlan, i: usize) {
+        let kind = layer.cost().kind;
+        if kind == "dense" || kind == "conv2d" {
+            if plan.checks(i) {
+                self.checked += 1;
+            } else {
+                self.skipped += 1;
+            }
+        }
+        if plan.duplicates(i) {
+            self.duplicated += 1;
+        }
+    }
+
+    fn flush(&self) {
+        let obs = pgmr_obs::global();
+        if self.checked > 0 {
+            obs.counter("abft.checked_total").add(self.checked);
+        }
+        if self.skipped > 0 {
+            obs.counter("abft.skipped_total").add(self.skipped);
+        }
+        if self.duplicated > 0 {
+            obs.counter("dup.exec_total").add(self.duplicated);
+        }
+    }
+}
+
+/// Element-wise comparison of a canonical layer output against its
+/// independent recomputation, under the same relative-plus-absolute bound
+/// the checksum verifier applies: `|a − b| ≤ tolerance·|b| + tolerance`.
+/// A NaN deviation (NaN in either copy, or Inf in both) faults too.
+fn compare_duplicate(
+    canonical: &[f32],
+    recomputed: &[f32],
+    tolerance: f32,
+) -> Result<(), ChecksumFault> {
+    debug_assert_eq!(canonical.len(), recomputed.len());
+    for (j, (&a, &b)) in canonical.iter().zip(recomputed.iter()).enumerate() {
+        let bound = tolerance * b.abs() + tolerance;
+        let deviation = (a - b).abs();
+        if deviation.is_nan() || deviation > bound {
+            return Err(ChecksumFault {
+                kind: ChecksumKind::Recompute,
+                index: j,
+                deviation,
+                bound,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,183 @@
+//! Selective-protection policy types: how much of a network's forward
+//! pass is ABFT-guarded.
+//!
+//! The paper's dependability layer guards every member uniformly, but the
+//! HarDNN/MRFI line of work shows SDC contribution concentrates in a small
+//! fraction of layers. A [`CheckPlan`] records, per layer, whether its
+//! output checksum is derived and verified, plus an optional single layer
+//! that runs *twice* (compute-twice-compare) — the duplicated-execution
+//! guard for the most critical layer, which also covers non-GEMM layers
+//! that row/column checksums structurally cannot see.
+//!
+//! Plans are usually derived from a measured
+//! `pgmr_faults::VulnerabilityProfile` via a [`ProtectionLevel`] knob; the
+//! hand-rolled constructors here exist for tests and for the uniform
+//! ([`CheckPlan::full`]) baseline.
+
+/// How much ABFT protection an inference path applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectionLevel {
+    /// No checksum verification anywhere (the raw-throughput baseline).
+    Off,
+    /// Full Huang–Abraham verification on the `top_k` most vulnerable
+    /// guarded layers only; no checks elsewhere.
+    Selective {
+        /// Number of top-ranked vulnerable layers to verify.
+        top_k: usize,
+    },
+    /// Uniform verification of every guarded layer — bit-identical to the
+    /// pre-selective-protection behavior.
+    Full,
+}
+
+impl ProtectionLevel {
+    /// Stable numeric encoding for the `protect.level` observability
+    /// gauge: `Off = 0`, `Selective = 1`, `Full = 2`.
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            ProtectionLevel::Off => 0.0,
+            ProtectionLevel::Selective { .. } => 1.0,
+            ProtectionLevel::Full => 2.0,
+        }
+    }
+
+    /// Short stable name for reports and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtectionLevel::Off => "off",
+            ProtectionLevel::Selective { .. } => "selective",
+            ProtectionLevel::Full => "full",
+        }
+    }
+}
+
+/// A per-layer protection schedule for one network: which layer outputs
+/// get their ABFT checksums derived and verified, and (optionally) the
+/// single layer that is executed twice and compared element-wise.
+///
+/// Indexing follows [`crate::Network`] layer order. Marking an unguarded
+/// layer (relu, pool, flatten, composite blocks) as checked is harmless —
+/// such layers produce no checksum expectations — which is what makes
+/// [`CheckPlan::full`] exactly the uniform pre-plan behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckPlan {
+    check: Vec<bool>,
+    duplicate: Option<usize>,
+}
+
+impl CheckPlan {
+    /// Builds a plan from explicit per-layer flags and an optional
+    /// duplicated layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check` is empty or `duplicate` is out of range.
+    pub fn new(check: Vec<bool>, duplicate: Option<usize>) -> Self {
+        assert!(!check.is_empty(), "check plan needs at least one layer");
+        if let Some(d) = duplicate {
+            assert!(d < check.len(), "duplicate layer {d} out of range ({} layers)", check.len());
+        }
+        CheckPlan { check, duplicate }
+    }
+
+    /// The uniform plan: every layer checked, nothing duplicated.
+    /// Equivalent to the plain `forward_checked` behavior.
+    pub fn full(num_layers: usize) -> Self {
+        Self::new(vec![true; num_layers], None)
+    }
+
+    /// The empty plan: nothing checked, nothing duplicated. A guarded
+    /// forward under this plan performs no verification at all.
+    pub fn off(num_layers: usize) -> Self {
+        Self::new(vec![false; num_layers], None)
+    }
+
+    /// Number of layers the plan covers.
+    pub fn num_layers(&self) -> usize {
+        self.check.len()
+    }
+
+    /// True when layer `layer`'s output checksum should be verified.
+    pub fn checks(&self, layer: usize) -> bool {
+        self.check.get(layer).copied().unwrap_or(false)
+    }
+
+    /// True when layer `layer` should be executed twice and compared.
+    pub fn duplicates(&self, layer: usize) -> bool {
+        self.duplicate == Some(layer)
+    }
+
+    /// The duplicated layer, if any.
+    pub fn duplicated_layer(&self) -> Option<usize> {
+        self.duplicate
+    }
+
+    /// Sets (or clears) the duplicated layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is out of range.
+    pub fn set_duplicate(&mut self, layer: Option<usize>) {
+        if let Some(d) = layer {
+            assert!(
+                d < self.check.len(),
+                "duplicate layer {d} out of range ({} layers)",
+                self.check.len()
+            );
+        }
+        self.duplicate = layer;
+    }
+
+    /// Number of layers whose checksums are verified.
+    pub fn checked_count(&self) -> usize {
+        self.check.iter().filter(|&&c| c).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_off_plans() {
+        let full = CheckPlan::full(4);
+        assert_eq!(full.num_layers(), 4);
+        assert_eq!(full.checked_count(), 4);
+        assert!((0..4).all(|i| full.checks(i)));
+        assert!(full.duplicated_layer().is_none());
+
+        let off = CheckPlan::off(4);
+        assert_eq!(off.checked_count(), 0);
+        assert!((0..4).all(|i| !off.checks(i)));
+    }
+
+    #[test]
+    fn duplicate_flags_one_layer() {
+        let mut plan = CheckPlan::new(vec![true, false, true], Some(2));
+        assert!(plan.duplicates(2));
+        assert!(!plan.duplicates(0));
+        plan.set_duplicate(None);
+        assert!(plan.duplicated_layer().is_none());
+    }
+
+    #[test]
+    fn out_of_range_layers_are_not_checked() {
+        let plan = CheckPlan::full(2);
+        assert!(!plan.checks(5));
+        assert!(!plan.duplicates(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn duplicate_out_of_range_rejected() {
+        CheckPlan::new(vec![true; 3], Some(3));
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(ProtectionLevel::Off.gauge_value(), 0.0);
+        assert_eq!(ProtectionLevel::Selective { top_k: 2 }.gauge_value(), 1.0);
+        assert_eq!(ProtectionLevel::Full.gauge_value(), 2.0);
+        assert_eq!(ProtectionLevel::Selective { top_k: 1 }.name(), "selective");
+    }
+}

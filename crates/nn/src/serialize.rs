@@ -34,8 +34,10 @@ const VERSION: u16 = 3;
 /// FNV-1a 64-bit hash. Not cryptographic, but every single-byte change —
 /// in particular any single bit flip — provably changes the digest: each
 /// step is a bijection of the running state, so for a fixed suffix the
-/// final value is injective in every input byte.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// final value is injective in every input byte. Public so sibling
+/// digest-verified artifacts (the vulnerability profiles in
+/// `pgmr-faults`) share the exact same integrity primitive.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

@@ -1,0 +1,194 @@
+//! Parity suite for plan-driven selective protection: `ProtectionLevel`
+//! and `CheckPlan` must never change *what* a network computes — only
+//! which layers get ABFT verification or duplicated execution. Full plans
+//! are pinned bit-identical to the uniformly-checked path (workspace and
+//! reference), Off plans to the plain forward, and the selective /
+//! duplicated paths are exercised with targeted hook corruption to prove
+//! they detect exactly where protection is placed.
+
+use std::cell::Cell;
+
+use pgmr_nn::zoo::{self, ArchSpec};
+use pgmr_nn::{CheckPlan, Network};
+use pgmr_tensor::checksum::ChecksumKind;
+use pgmr_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Architectures covering all layer implementations the zoo exercises
+/// (same sweep as the workspace parity suite).
+fn specs() -> Vec<ArchSpec> {
+    vec![
+        ArchSpec::lenet5(1, 16, 16, 10),
+        ArchSpec::convnet_dropout(1, 16, 16, 10),
+        ArchSpec::resnet20_mini(1, 16, 16, 10),
+        ArchSpec::densenet_mini(1, 16, 16, 10),
+        ArchSpec::googlenet_mini(1, 16, 16, 10),
+        ArchSpec::resnext_mini(1, 16, 16, 10),
+    ]
+}
+
+/// Indices of the ABFT-guarded (dense / conv2d) layers of a network.
+fn guarded_layers(net: &Network) -> Vec<usize> {
+    net.cost_profile()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.kind == "dense" || c.kind == "conv2d")
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[test]
+fn full_plan_is_bit_identical_to_uniform_checked_path() {
+    let mut rng = StdRng::seed_from_u64(47);
+    for (i, spec) in specs().into_iter().enumerate() {
+        for &batch in &[1usize, 7, 64] {
+            let x = Tensor::uniform(vec![batch, 1, 16, 16], -1.0, 1.0, &mut rng);
+            let seed = 400 + i as u64;
+            let mut uniform = zoo::build(&spec, seed);
+            let mut planned = zoo::build(&spec, seed);
+            let plan = CheckPlan::full(planned.num_layers());
+            let want = uniform
+                .forward_checked_reference(&x, false, None, 1e-4)
+                .expect("clean reference forward must verify");
+            let via_plan = planned
+                .forward_checked_plan(&x, false, None, 1e-4, &plan)
+                .expect("clean full-plan forward must verify");
+            assert_eq!(
+                via_plan.data(),
+                want.data(),
+                "full plan diverged from uniform checking: {} batch {batch}",
+                spec.arch_id()
+            );
+            let via_plan_ref = planned
+                .forward_checked_plan_reference(&x, false, None, 1e-4, &plan)
+                .expect("clean full-plan reference forward must verify");
+            assert_eq!(
+                via_plan_ref.data(),
+                want.data(),
+                "full-plan reference diverged: {} batch {batch}",
+                spec.arch_id()
+            );
+        }
+    }
+}
+
+#[test]
+fn off_and_selective_plans_do_not_perturb_outputs() {
+    let mut rng = StdRng::seed_from_u64(48);
+    for (i, spec) in specs().into_iter().enumerate() {
+        let x = Tensor::uniform(vec![7, 1, 16, 16], -1.0, 1.0, &mut rng);
+        let seed = 500 + i as u64;
+        let mut plain = zoo::build(&spec, seed);
+        let mut planned = zoo::build(&spec, seed);
+        let n = planned.num_layers();
+        let want = plain.forward(&x, false);
+        let off = planned
+            .forward_checked_plan(&x, false, None, 1e-4, &CheckPlan::off(n))
+            .expect("off plan has nothing to fail");
+        assert_eq!(off.data(), want.data(), "off plan diverged: {}", spec.arch_id());
+        // A half-coverage selective plan: checks change detection, never data.
+        let mut checks = vec![false; n];
+        for (j, c) in checks.iter_mut().enumerate() {
+            *c = j % 2 == 0;
+        }
+        let selective = planned
+            .forward_checked_plan(&x, false, None, 1e-4, &CheckPlan::new(checks, None))
+            .expect("clean selective forward must verify");
+        assert_eq!(selective.data(), want.data(), "selective plan diverged: {}", spec.arch_id());
+    }
+}
+
+/// A hook that adds a large constant to the first element of activation
+/// site `target` only (site 0 is the network input; site `i + 1` is the
+/// output of layer `i`), leaving every other site untouched.
+fn corrupt_site(target: usize, site: &Cell<usize>) -> impl Fn(&mut [f32]) + '_ {
+    move |d: &mut [f32]| {
+        let s = site.get();
+        site.set(s + 1);
+        if s == target {
+            d[0] += 1.0e3;
+        }
+    }
+}
+
+#[test]
+fn selective_plan_detects_exactly_where_checks_are_placed() {
+    let mut rng = StdRng::seed_from_u64(49);
+    let spec = ArchSpec::lenet5(1, 16, 16, 10);
+    let mut net = zoo::build(&spec, 600);
+    let x = Tensor::uniform(vec![2, 1, 16, 16], -1.0, 1.0, &mut rng);
+    let guarded = guarded_layers(&net);
+    let victim = guarded[1]; // a mid-network conv/dense layer
+    let n = net.num_layers();
+
+    // Uniform checking flags a corruption of the victim layer's output.
+    let site = Cell::new(0usize);
+    let hook = corrupt_site(victim + 1, &site);
+    let fault = net
+        .forward_checked_plan(&x, false, Some(&hook), 1e-4, &CheckPlan::full(n))
+        .expect_err("full plan must catch the corrupted layer output");
+    assert!(matches!(fault.kind, ChecksumKind::Row | ChecksumKind::Col));
+
+    // The same corruption sails through when the victim layer is the one
+    // layer the plan leaves unchecked: checksums verify a layer's own
+    // compute, so only the victim's checksum could have flagged it.
+    let mut checks = vec![true; n];
+    checks[victim] = false;
+    let site = Cell::new(0usize);
+    let hook = corrupt_site(victim + 1, &site);
+    net.forward_checked_plan(&x, false, Some(&hook), 1e-4, &CheckPlan::new(checks, None))
+        .expect("unchecked victim layer must not flag its own corruption");
+}
+
+#[test]
+fn duplicated_layer_detects_corruption_checksums_cannot_see() {
+    let mut rng = StdRng::seed_from_u64(50);
+    let spec = ArchSpec::lenet5(1, 16, 16, 10);
+    let mut net = zoo::build(&spec, 601);
+    let x = Tensor::uniform(vec![2, 1, 16, 16], -1.0, 1.0, &mut rng);
+    let victim = guarded_layers(&net)[0];
+    let n = net.num_layers();
+
+    // Clean duplicated run: bit-identical to the plain forward, on both
+    // the workspace and the reference path.
+    let plan = CheckPlan::new(vec![false; n], Some(victim));
+    let want = zoo::build(&spec, 601).forward(&x, false);
+    let got = net
+        .forward_checked_plan(&x, false, None, 1e-4, &plan)
+        .expect("clean duplicated forward must verify");
+    assert_eq!(got.data(), want.data(), "duplication must not perturb the canonical output");
+    let got_ref = net
+        .forward_checked_plan_reference(&x, false, None, 1e-4, &plan)
+        .expect("clean duplicated reference forward must verify");
+    assert_eq!(got_ref.data(), want.data());
+
+    // Corrupt the duplicated layer's canonical output: with every checksum
+    // off, only the recompute comparison can notice — and it must.
+    for run_reference in [false, true] {
+        let site = Cell::new(0usize);
+        let hook = corrupt_site(victim + 1, &site);
+        let fault = if run_reference {
+            net.forward_checked_plan_reference(&x, false, Some(&hook), 1e-4, &plan)
+        } else {
+            net.forward_checked_plan(&x, false, Some(&hook), 1e-4, &plan)
+        }
+        .expect_err("duplicate execution must catch the corrupted output");
+        assert_eq!(
+            fault.kind,
+            ChecksumKind::Recompute,
+            "detection must come from the recompute comparison (reference={run_reference})"
+        );
+        assert_eq!(fault.index, 0, "first element carries the injected deviation");
+    }
+}
+
+#[test]
+#[should_panic(expected = "check plan covers")]
+fn mismatched_plan_size_panics() {
+    let spec = ArchSpec::lenet5(1, 16, 16, 10);
+    let mut net = zoo::build(&spec, 602);
+    let x = Tensor::zeros(vec![1, 1, 16, 16]);
+    let plan = CheckPlan::full(net.num_layers() + 1);
+    let _ = net.forward_checked_plan(&x, false, None, 1e-4, &plan);
+}

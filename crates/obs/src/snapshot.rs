@@ -86,6 +86,11 @@ impl Snapshot {
         self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
     /// The histogram named `name`, if present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)

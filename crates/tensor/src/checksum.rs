@@ -28,6 +28,12 @@ pub enum ChecksumKind {
     /// row/column sum finite and consistent — the explicit input scan is
     /// what keeps such corruption from hiding.
     NonFinite,
+    /// Duplicated execution (compute-twice-compare) disagreed: an element
+    /// of a layer's canonical output deviated from an independent
+    /// recomputation by more than the scaled tolerance. Unlike row/column
+    /// checksums this guard covers layers without a GEMM core, at the
+    /// price of running the layer twice.
+    Recompute,
 }
 
 /// A detected checksum violation in a guarded GEMM output.
@@ -50,6 +56,13 @@ impl std::fmt::Display for ChecksumFault {
             ChecksumKind::Col => "col",
             ChecksumKind::NonFinite => {
                 return write!(f, "ABFT checksum fault: non-finite GEMM input");
+            }
+            ChecksumKind::Recompute => {
+                return write!(
+                    f,
+                    "duplicate-execution fault: element {} deviates by {:.3e} (bound {:.3e})",
+                    self.index, self.deviation, self.bound
+                );
             }
         };
         write!(

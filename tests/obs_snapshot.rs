@@ -121,6 +121,65 @@ fn checksum_barrage_emits_quarantine_events() {
 }
 
 #[test]
+fn selective_protection_metrics_are_deterministic() {
+    use pgmr::faults::{ProfileConfig, VulnerabilityProfile};
+    use pgmr::nn::ProtectionLevel;
+    let _guard = exclusive_registry();
+    // A clean selectively-protected run must account for every guarded
+    // layer — checked or skipped — plus the duplicated critical layer,
+    // and the whole export must be reproducible byte-for-byte.
+    let run = || {
+        let (mut system, data) = fresh_system();
+        system.set_fault_policy(Some(FaultPolicy::default()));
+        let inputs = data.images()[..4].to_vec();
+        let cfg = ProfileConfig { trials_per_site: 4, ..ProfileConfig::default() };
+        let profile = VulnerabilityProfile::measure(
+            system.ensemble_mut().members_mut()[0].network_mut(),
+            &inputs,
+            &cfg,
+        );
+        // Reset after the measurement campaign so the snapshot holds only
+        // the protected inference run (plus the gauge apply_protection
+        // sets).
+        obs::global().reset();
+        system.apply_protection(ProtectionLevel::Selective { top_k: 1 }, &[profile], true);
+        system.evaluate(&data);
+        obs::global().snapshot().to_deterministic_json()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "selective-protection export must be byte-identical");
+
+    // Re-run once more to inspect the structured snapshot.
+    let (mut system, data) = fresh_system();
+    system.set_fault_policy(Some(FaultPolicy::default()));
+    let inputs = data.images()[..4].to_vec();
+    let cfg = ProfileConfig { trials_per_site: 4, ..ProfileConfig::default() };
+    let profile = VulnerabilityProfile::measure(
+        system.ensemble_mut().members_mut()[0].network_mut(),
+        &inputs,
+        &cfg,
+    );
+    obs::global().reset();
+    system.apply_protection(ProtectionLevel::Selective { top_k: 1 }, &[profile], true);
+    system.evaluate(&data);
+    let snap = obs::global().snapshot();
+    assert_eq!(snap.gauge("protect.level"), Some(1.0), "selective level gauge");
+    let checked = snap.counter("abft.checked_total").unwrap_or(0);
+    let skipped = snap.counter("abft.skipped_total").unwrap_or(0);
+    let duplicated = snap.counter("dup.exec_total").unwrap_or(0);
+    assert!(checked > 0, "top-1 plan checks one layer per forward");
+    assert!(skipped > 0, "remaining guarded layers must be skipped, not checked");
+    assert!(duplicated > 0, "critical layer runs duplicated");
+    // 3 members × data.len() forwards, one checked layer and one duplicated
+    // layer each; the skipped count covers the other guarded layers.
+    let forwards = (3 * data.len()) as u64;
+    assert_eq!(checked, forwards);
+    assert_eq!(duplicated, forwards);
+    assert_eq!(skipped % forwards, 0, "whole guarded layers are skipped per forward");
+}
+
+#[test]
 fn concurrent_increments_through_global_pool_are_lossless() {
     let _guard = exclusive_registry();
     let pool = pgmr::nn::pool::global();
