@@ -24,6 +24,14 @@
 //! asserted to be 0), alongside the arena's peak footprint
 //! (`infer.workspace_peak_bytes`, also exported as the
 //! `infer.workspace_bytes` observability gauge).
+//!
+//! Two GEMM-level sections round out the artifact: an autotune sweep of
+//! cache-blocking candidates (every candidate asserted bit-identical to
+//! the default — the tuning-independence contract exercised on real runs)
+//! and a wall-clock comparison of the dense execution modes — full f32,
+//! quantize-to-f32 simulation, and genuinely narrow i8 via
+//! [`pgmr_precision::quant::QuantizedLinear`]. `infer.items_per_s` is the
+//! number CI's `perf_gate` compares against the committed artifact.
 
 use std::time::Instant;
 
@@ -32,7 +40,10 @@ use pgmr_bench::{banner, scale};
 use pgmr_datasets::Split;
 use pgmr_faults::{run_activation_campaign, run_activation_campaign_with, CampaignConfig};
 use pgmr_nn::WorkerPool;
+use pgmr_precision::quant::{IntKind, QuantizedLinear};
+use pgmr_precision::Precision;
 use pgmr_preprocess::Preprocessor;
+use pgmr_tensor::gemm::{gemm_a_bt_into, gemm_into_tuned, GemmScratch, GemmTuning, DEFAULT_TUNING};
 use polygraph_mr::decision::Thresholds;
 use polygraph_mr::ensemble::Ensemble;
 use polygraph_mr::suite::Benchmark;
@@ -46,7 +57,9 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const POOL_WIDTHS: [usize; 3] = [2, 4, 8];
 
 /// Measured passes over the test set in the zero-alloc inference section.
-const INFER_PASSES: usize = 3;
+/// Sized so each timed section runs for a few hundred milliseconds — long
+/// enough to damp scheduler noise on a shared single-core container.
+const INFER_PASSES: usize = 12;
 
 /// Times `f`, returning (result, items/s) for `items` units of work.
 fn time<T>(items: usize, f: impl FnOnce() -> T) -> (T, f64) {
@@ -54,6 +67,131 @@ fn time<T>(items: usize, f: impl FnOnce() -> T) -> (T, f64) {
     let out = f();
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     (out, items as f64 / secs)
+}
+
+/// Deterministic pseudo-random fill in [-1, 1) for the GEMM sections.
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        })
+        .collect()
+}
+
+/// GEMM shape for the autotune sweep and the quantized comparison: a
+/// dense-sized `[batch, in] × [in, out]` product, big enough that the
+/// packed path engages and cache blocking matters.
+const GEMM_SHAPE: (usize, usize, usize) = (64, 512, 512);
+
+/// Sweep repetitions per candidate (first rep warms the scratch).
+const GEMM_REPS: usize = 12;
+
+/// Blocking candidates for the autotune sweep. [`DEFAULT_TUNING`] first.
+const TUNE_CANDIDATES: [GemmTuning; 5] = [
+    DEFAULT_TUNING,
+    GemmTuning { mc: 32, kc: 128, nc: 256 },
+    GemmTuning { mc: 64, kc: 256, nc: 256 },
+    GemmTuning { mc: 128, kc: 256, nc: 256 },
+    GemmTuning { mc: 256, kc: 512, nc: 128 },
+];
+
+/// Sweeps [`TUNE_CANDIDATES`] over [`GEMM_SHAPE`], returning
+/// `(tuning, gmacs)` per candidate, best first kept in input order.
+/// Every candidate's result is asserted bit-identical to the default's —
+/// the tuning-independence contract, re-checked on real measured runs.
+fn autotune_gemm() -> Vec<(GemmTuning, f64)> {
+    let (m, k, n) = GEMM_SHAPE;
+    let a = fill(0xA, m * k);
+    let b = fill(0xB, k * n);
+    let mut reference = vec![0.0f32; m * n];
+    let mut scratch = GemmScratch::new();
+    gemm_into_tuned(m, k, n, &a, &b, &mut reference, &mut scratch, DEFAULT_TUNING);
+    let macs = (m * k * n) as f64;
+    TUNE_CANDIDATES
+        .iter()
+        .map(|&t| {
+            let mut c = vec![0.0f32; m * n];
+            let mut best = f64::INFINITY;
+            for rep in 0..GEMM_REPS {
+                c.fill(0.0);
+                let start = Instant::now();
+                gemm_into_tuned(m, k, n, &a, &b, &mut c, &mut scratch, t);
+                let secs = start.elapsed().as_secs_f64().max(1e-9);
+                if rep > 0 {
+                    best = best.min(secs);
+                }
+                std::hint::black_box(&c);
+            }
+            assert_eq!(c, reference, "tuning {t:?} diverged from the default blocking");
+            (t, macs / best / 1e9)
+        })
+        .collect()
+}
+
+/// Wall-clock comparison of the three dense execution modes at one shape:
+/// full f32, quantize-to-f32 simulation (per-call activation rounding at
+/// `Precision(17)` + full-width GEMM — what `QuantizedNetwork` executes),
+/// and genuinely narrow i8 via [`QuantizedLinear`]. Returns items/s
+/// (batch rows per second) for each.
+fn quantized_dense_rates() -> (f64, f64, f64) {
+    let (n, in_f, out_f) = GEMM_SHAPE;
+    let x = fill(0xC, n * in_f);
+    let w = fill(0xD, out_f * in_f);
+    let bias = fill(0xE, out_f);
+    let items = GEMM_REPS * n;
+
+    // Full f32: y = x·Wᵀ + b through the packed kernel.
+    let mut scratch = GemmScratch::new();
+    let mut y = vec![0.0f32; n * out_f];
+    let run_f32 = |y: &mut [f32], scratch: &mut GemmScratch| {
+        for row in y.chunks_mut(out_f) {
+            row.copy_from_slice(&bias);
+        }
+        gemm_a_bt_into(n, in_f, out_f, &x, &w, y, scratch);
+    };
+    run_f32(&mut y, &mut scratch); // warm the packing scratch
+    let (_, f32_rate) = time(items, || {
+        for _ in 0..GEMM_REPS {
+            run_f32(&mut y, &mut scratch);
+            std::hint::black_box(&y);
+        }
+    });
+
+    // Quantize-to-f32 simulation: weights rounded once, activations
+    // rounded per call, arithmetic still full-width.
+    let precision = Precision::new(17);
+    let mut wq = w.clone();
+    precision.quantize_slice(&mut wq);
+    let mut xq = vec![0.0f32; x.len()];
+    let (_, qf32_rate) = time(items, || {
+        for _ in 0..GEMM_REPS {
+            xq.copy_from_slice(&x);
+            precision.quantize_slice(&mut xq);
+            for row in y.chunks_mut(out_f) {
+                row.copy_from_slice(&bias);
+            }
+            gemm_a_bt_into(n, in_f, out_f, &xq, &wq, &mut y, &mut scratch);
+            std::hint::black_box(&y);
+        }
+    });
+
+    // Narrow i8: weights quantized once at construction, activations per
+    // call, products accumulated in i32.
+    let mut ql = QuantizedLinear::from_weights(&w, &bias, in_f, out_f, IntKind::I8);
+    let mut yq = Vec::new();
+    ql.forward(&x, n, &mut yq); // warm the integer scratch
+    let (_, i8_rate) = time(items, || {
+        for _ in 0..GEMM_REPS {
+            ql.forward(&x, n, &mut yq);
+            std::hint::black_box(&yq);
+        }
+    });
+
+    (f32_rate, qf32_rate, i8_rate)
 }
 
 fn main() {
@@ -131,6 +269,16 @@ fn main() {
         camp_rates.push((width, rate));
     }
 
+    // GEMM autotune sweep: cache-blocking candidates over a dense-sized
+    // shape, each verified bit-identical to the default blocking.
+    let sweep = autotune_gemm();
+    let &(best_tuning, best_gmacs) =
+        sweep.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty sweep");
+
+    // Dense execution modes: full f32 vs quantize-to-f32 simulation vs
+    // genuinely narrow i8.
+    let (f32_rate, qf32_rate, i8_rate) = quantized_dense_rates();
+
     println!("{:>22} {:>14} {:>10}", "workload / width", "items/s", "speedup");
     println!("{:>22} {:>14.1} {:>10.2}", "eval seq", seq_eval_rate, 1.0);
     for &(width, rate) in &eval_rates {
@@ -153,17 +301,42 @@ fn main() {
         println!("{:>20}x{width} {rate:>14.1} {:>10.2}", "campaign", rate / seq_camp_rate);
     }
 
+    let (gm, gk, gn) = GEMM_SHAPE;
+    println!();
+    println!("gemm autotune ({gm}x{gk}x{gn}, GMAC/s; all candidates bit-identical):");
+    for &(t, gmacs) in &sweep {
+        let marker = if t == best_tuning { "  <- best" } else { "" };
+        println!("  mc={:<4} kc={:<4} nc={:<4} {gmacs:>8.2}{marker}", t.mc, t.kc, t.nc);
+    }
+    println!("dense modes ({gm}x{gk}x{gn}, rows/s):");
+    println!("  {:<18} {f32_rate:>12.1}", "f32");
+    println!("  {:<18} {qf32_rate:>12.1}   x{:.2} vs f32", "quantize-to-f32", qf32_rate / f32_rate);
+    println!(
+        "  {:<18} {i8_rate:>12.1}   x{:.2} vs f32, x{:.2} vs quantize-to-f32",
+        "i8",
+        i8_rate / f32_rate,
+        i8_rate / qf32_rate
+    );
+
     // Hand-rolled JSON artifact (the workspace has no JSON dependency).
     let workers = |rates: &[(usize, f64)]| -> String {
         let fields: Vec<String> = rates.iter().map(|(w, r)| format!("\"{w}\": {r:.3}")).collect();
         format!("{{{}}}", fields.join(", "))
     };
+    let sweep_fields: Vec<String> =
+        sweep.iter().map(|(t, g)| format!("\"{}x{}x{}\": {g:.3}", t.mc, t.kc, t.nc)).collect();
     let json = format!(
-        "{{\n  \"nproc\": {nproc},\n  \"batch_eval\": {{\"items\": {}, \"sequential_items_per_s\": {seq_eval_rate:.3}, \"workers_items_per_s\": {}}},\n  \"infer\": {{\"allocs_per_image\": {allocs_per_image:.1}, \"workspace_peak_bytes\": {ws_peak_bytes}, \"items_per_s\": {infer_rate:.3}, \"reference_items_per_s\": {reference_rate:.3}}},\n  \"fault_campaign\": {{\"trials\": {}, \"sequential_items_per_s\": {seq_camp_rate:.3}, \"workers_items_per_s\": {}}}\n}}\n",
+        "{{\n  \"nproc\": {nproc},\n  \"batch_eval\": {{\"items\": {}, \"sequential_items_per_s\": {seq_eval_rate:.3}, \"workers_items_per_s\": {}}},\n  \"infer\": {{\"allocs_per_image\": {allocs_per_image:.1}, \"workspace_peak_bytes\": {ws_peak_bytes}, \"items_per_s\": {infer_rate:.3}, \"reference_items_per_s\": {reference_rate:.3}}},\n  \"fault_campaign\": {{\"trials\": {}, \"sequential_items_per_s\": {seq_camp_rate:.3}, \"workers_items_per_s\": {}}},\n  \"gemm_autotune\": {{\"shape\": \"{gm}x{gk}x{gn}\", \"best\": {{\"mc\": {}, \"kc\": {}, \"nc\": {}, \"gmacs\": {best_gmacs:.3}}}, \"candidates_gmacs\": {{{}}}}},\n  \"quantized_dense\": {{\"shape\": \"{gm}x{gk}x{gn}\", \"f32_rows_per_s\": {f32_rate:.3}, \"quantize_to_f32_rows_per_s\": {qf32_rate:.3}, \"i8_rows_per_s\": {i8_rate:.3}, \"i8_vs_f32\": {:.3}, \"i8_vs_quantize_to_f32\": {:.3}}}\n}}\n",
         data.len(),
         workers(&eval_rates),
         cfg.trials,
         workers(&camp_rates),
+        best_tuning.mc,
+        best_tuning.kc,
+        best_tuning.nc,
+        sweep_fields.join(", "),
+        i8_rate / f32_rate,
+        i8_rate / qf32_rate,
     );
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     let obs_json = pgmr_obs::global().snapshot().to_json();

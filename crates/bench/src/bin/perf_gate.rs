@@ -1,0 +1,57 @@
+//! Throughput regression gate for CI.
+//!
+//! ```text
+//! perf_gate <baseline.json> <current.json> [max_regression]
+//! ```
+//!
+//! Compares the steady-state inference throughput (`infer.items_per_s`)
+//! of a freshly measured `BENCH_throughput.json` against the committed
+//! baseline and exits non-zero if it regressed by more than
+//! `max_regression` (default `0.10`, i.e. 10%). CI copies the committed
+//! artifact aside before the bench overwrites it, then runs this gate on
+//! the pair. Faster-than-baseline runs always pass — the gate is
+//! one-sided.
+
+use pgmr_bench::jsonkey::json_number;
+
+const DEFAULT_MAX_REGRESSION: f64 = 0.10;
+
+fn load_rate(path: &str) -> f64 {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_gate: cannot read {path}: {e}"));
+    json_number(&json, &["infer", "items_per_s"])
+        .unwrap_or_else(|| panic!("perf_gate: {path} has no infer.items_per_s"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (baseline_path, current_path) = match &args[1..] {
+        [b, c] | [b, c, _] => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: perf_gate <baseline.json> <current.json> [max_regression]");
+            std::process::exit(2);
+        }
+    };
+    let max_regression: f64 = args
+        .get(3)
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("perf_gate: bad max_regression {s:?}")))
+        .unwrap_or(DEFAULT_MAX_REGRESSION);
+
+    let baseline = load_rate(baseline_path);
+    let current = load_rate(current_path);
+    assert!(baseline > 0.0, "perf_gate: baseline rate must be positive, got {baseline}");
+    let change = current / baseline - 1.0;
+    println!(
+        "perf_gate: infer.items_per_s baseline {baseline:.1} -> current {current:.1} ({:+.1}%)",
+        change * 100.0
+    );
+    if change < -max_regression {
+        eprintln!(
+            "perf_gate: FAIL — throughput regressed {:.1}% (budget {:.0}%)",
+            -change * 100.0,
+            max_regression * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf_gate: OK (budget {:.0}%)", max_regression * 100.0);
+}

@@ -1,0 +1,106 @@
+//! Minimal JSON number lookup for the bench artifacts.
+//!
+//! The workspace carries no JSON dependency — artifacts are hand-rolled
+//! (`BENCH_throughput.json` etc.) with a known flat shape: objects of
+//! objects of numbers. This module provides the inverse for the perf gate
+//! (`src/bin/perf_gate.rs`): walk a path of object keys and parse the
+//! number at the end. It is *not* a general JSON parser — strings
+//! containing braces, arrays of objects, or escaped quotes in keys are out
+//! of scope, and the artifacts never produce them.
+
+/// Returns the object value (brace-delimited, inclusive) of `key` inside
+/// `json`, or `None` if the key is absent or not followed by an object.
+fn object_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let after = json[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
+    if !after.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, ch) in after.char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&after[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Looks up a number at a path of nested object keys, e.g.
+/// `json_number(artifact, &["infer", "items_per_s"])`.
+///
+/// Returns `None` if any key along the path is missing or the final value
+/// does not parse as a number.
+pub fn json_number(json: &str, path: &[&str]) -> Option<f64> {
+    let (&last, parents) = path.split_last()?;
+    let mut scope = json;
+    for key in parents {
+        scope = object_value(scope, key)?;
+    }
+    let needle = format!("\"{last}\"");
+    let at = scope.find(&needle)?;
+    let after = scope[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTIFACT: &str = r#"{
+  "nproc": 4,
+  "batch_eval": {"items": 100, "sequential_items_per_s": 8310.8},
+  "infer": {"allocs_per_image": 0.0, "workspace_peak_bytes": 33280, "items_per_s": 27477.3, "reference_items_per_s": 23959.8},
+  "fault_campaign": {"trials": 200, "sequential_items_per_s": 13702.2}
+}"#;
+
+    #[test]
+    fn looks_up_nested_numbers() {
+        assert_eq!(json_number(ARTIFACT, &["infer", "items_per_s"]), Some(27477.3));
+        assert_eq!(json_number(ARTIFACT, &["infer", "allocs_per_image"]), Some(0.0));
+        assert_eq!(json_number(ARTIFACT, &["batch_eval", "items"]), Some(100.0));
+        assert_eq!(json_number(ARTIFACT, &["nproc"]), Some(4.0));
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        assert_eq!(json_number(ARTIFACT, &["infer", "nope"]), None);
+        assert_eq!(json_number(ARTIFACT, &["nope", "items_per_s"]), None);
+        assert_eq!(json_number(ARTIFACT, &[]), None);
+    }
+
+    #[test]
+    fn scoping_prevents_cross_section_matches() {
+        // `sequential_items_per_s` appears in two sections; the path picks
+        // the right one.
+        assert_eq!(
+            json_number(ARTIFACT, &["fault_campaign", "sequential_items_per_s"]),
+            Some(13702.2)
+        );
+        assert_eq!(json_number(ARTIFACT, &["batch_eval", "sequential_items_per_s"]), Some(8310.8));
+    }
+
+    #[test]
+    fn parses_scientific_and_negative_numbers() {
+        let json = r#"{"a": {"b": -1.5e-3}}"#;
+        assert_eq!(json_number(json, &["a", "b"]), Some(-0.0015));
+    }
+
+    #[test]
+    fn non_number_values_return_none() {
+        let json = r#"{"a": {"b": "text"}}"#;
+        assert_eq!(json_number(json, &["a", "b"]), None);
+    }
+}

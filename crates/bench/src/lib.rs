@@ -15,6 +15,7 @@
 //! disables the cache).
 
 pub mod alloc_counter;
+pub mod jsonkey;
 
 use pgmr_datasets::{Dataset, Split};
 use pgmr_metrics::RateSummary;

@@ -4,7 +4,7 @@ use crate::init::he_normal;
 use crate::layer::{Layer, LayerCost, OutputChecksum, ParamSlot};
 use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::checksum::GemmChecksums;
-use pgmr_tensor::gemm::{gemm, gemm_a_bt, gemm_at_b};
+use pgmr_tensor::gemm::{gemm_a_bt, gemm_at_b, gemm_into, GemmScratch};
 use pgmr_tensor::{col2im, im2col_into, Conv2dGeometry, Tensor};
 use rand::Rng;
 
@@ -84,12 +84,12 @@ impl Conv2d {
         let mut out = ws.acquire(&[n, self.out_c, self.geom.out_h, self.geom.out_w]);
         let mut segments = if checked { Vec::with_capacity(n) } else { Vec::new() };
         {
-            let cols = ws.scratch(patch * spatial);
+            let (cols, gemm_scratch) = ws.scratch_with_gemm(patch * spatial);
             let in_stride = c * h * w;
             let out_stride = self.out_c * spatial;
             for i in 0..n {
                 im2col_into(&input.data()[i * in_stride..(i + 1) * in_stride], &self.geom, cols);
-                Self::bias_gemm(
+                Self::bias_gemm_into(
                     self.out_c,
                     patch,
                     spatial,
@@ -97,6 +97,7 @@ impl Conv2d {
                     self.bias.value.data(),
                     cols,
                     &mut out.data_mut()[i * out_stride..(i + 1) * out_stride],
+                    gemm_scratch,
                 );
                 if checked {
                     segments.push((i * out_stride, self.image_checksums(cols)));
@@ -120,10 +121,27 @@ impl Conv2d {
         cols: &[f32],
         out_img: &mut [f32],
     ) {
+        let mut scratch = GemmScratch::new();
+        Self::bias_gemm_into(out_c, patch, spatial, weight, bias, cols, out_img, &mut scratch);
+    }
+
+    /// [`Self::bias_gemm`] with caller-owned packing buffers — the
+    /// zero-allocation path; results are bit-identical either way.
+    #[allow(clippy::too_many_arguments)] // GEMM dims + operands + scratch
+    fn bias_gemm_into(
+        out_c: usize,
+        patch: usize,
+        spatial: usize,
+        weight: &[f32],
+        bias: &[f32],
+        cols: &[f32],
+        out_img: &mut [f32],
+        scratch: &mut GemmScratch,
+    ) {
         for (ch, row) in out_img.chunks_mut(spatial).enumerate() {
             row.fill(bias[ch]);
         }
-        gemm(out_c, patch, spatial, weight, cols, out_img);
+        gemm_into(out_c, patch, spatial, weight, cols, out_img, scratch);
     }
 
     /// ABFT expectations for one image's bias-initialized GEMM.

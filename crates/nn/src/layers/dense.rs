@@ -4,7 +4,7 @@ use crate::init::he_normal;
 use crate::layer::{Layer, LayerCost, OutputChecksum, ParamSlot};
 use crate::workspace::{ActBuf, Workspace};
 use pgmr_tensor::checksum::GemmChecksums;
-use pgmr_tensor::gemm::{gemm_a_bt, gemm_at_b};
+use pgmr_tensor::gemm::{gemm_a_bt, gemm_a_bt_into, gemm_at_b};
 use pgmr_tensor::Tensor;
 use rand::Rng;
 
@@ -59,13 +59,14 @@ impl Dense {
         for row in out.data_mut().chunks_mut(self.out_features) {
             row.copy_from_slice(self.bias.value.data());
         }
-        gemm_a_bt(
+        gemm_a_bt_into(
             n,
             self.in_features,
             self.out_features,
             input.data(),
             self.weight.value.data(),
             out.data_mut(),
+            ws.gemm_scratch(),
         );
         let sums = checked.then(|| {
             let mut sums = GemmChecksums::for_a_bt(

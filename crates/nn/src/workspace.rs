@@ -19,6 +19,11 @@
 //! * [`Workspace::scratch`] — one dedicated buffer for im2col patch
 //!   matrices, zero-filled per image (padded taps rely on it) and reused
 //!   across images, layers, and calls.
+//! * [`Workspace::gemm_scratch`] — packing buffers
+//!   ([`pgmr_tensor::gemm::GemmScratch`]) for the blocked GEMM kernels,
+//!   sized once at the largest panel a workload needs;
+//!   [`Workspace::scratch_with_gemm`] hands out the im2col scratch and the
+//!   packing buffers together for convolution, which needs both at once.
 //!
 //! Every thread gets its own arena via [`with_thread_workspace`]; worker
 //! pool threads ([`crate::pool::WorkerPool`]) are persistent, so one
@@ -26,6 +31,7 @@
 //! stays on the allocating path — backward passes need the per-call
 //! caches it populates.
 
+use pgmr_tensor::gemm::GemmScratch;
 use pgmr_tensor::Tensor;
 use std::cell::RefCell;
 
@@ -115,6 +121,7 @@ pub struct WorkspaceStats {
 pub struct Workspace {
     free: Vec<ActBuf>,
     scratch: Vec<f32>,
+    gemm: GemmScratch,
     in_use_bytes: usize,
     scratch_bytes: usize,
     peak_bytes: usize,
@@ -153,8 +160,11 @@ impl Workspace {
         buf
     }
 
-    /// Returns a buffer to the free list for reuse.
+    /// Returns a buffer to the free list for reuse. Re-samples the peak
+    /// first: the GEMM packing buffers may have grown since acquisition
+    /// (they grow inside the layer's kernel call).
     pub fn release(&mut self, buf: ActBuf) {
+        self.note_usage();
         self.in_use_bytes =
             self.in_use_bytes.saturating_sub(buf.data.len() * std::mem::size_of::<f32>());
         self.free.push(buf);
@@ -187,13 +197,42 @@ impl Workspace {
         &mut self.scratch[..len]
     }
 
-    /// Current counters.
+    /// The GEMM packing buffers (dense layers, which have no im2col
+    /// scratch of their own). Capacities only grow — the hot path reaches
+    /// a steady state after the first pass at a given shape set.
+    pub fn gemm_scratch(&mut self) -> &mut GemmScratch {
+        &mut self.gemm
+    }
+
+    /// The im2col scratch *and* the GEMM packing buffers, borrowed
+    /// together — convolution writes patch matrices into the former while
+    /// the blocked kernel packs panels into the latter.
+    pub fn scratch_with_gemm(&mut self, len: usize) -> (&mut [f32], &mut GemmScratch) {
+        if self.scratch.capacity() < len {
+            self.grows += 1;
+        }
+        if self.scratch.len() < len {
+            self.scratch.resize(len, 0.0);
+        }
+        self.scratch_bytes = self.scratch_bytes.max(len * std::mem::size_of::<f32>());
+        self.note_usage();
+        (&mut self.scratch[..len], &mut self.gemm)
+    }
+
+    /// Current counters. GEMM packing growth counts toward `grows`, so the
+    /// steady-state regression tests cover the packed kernels too.
     pub fn stats(&self) -> WorkspaceStats {
-        WorkspaceStats { peak_bytes: self.peak_bytes, grows: self.grows }
+        WorkspaceStats {
+            peak_bytes: self
+                .peak_bytes
+                .max(self.in_use_bytes + self.scratch_bytes + self.gemm.bytes()),
+            grows: self.grows + self.gemm.grows(),
+        }
     }
 
     fn note_usage(&mut self) {
-        self.peak_bytes = self.peak_bytes.max(self.in_use_bytes + self.scratch_bytes);
+        self.peak_bytes =
+            self.peak_bytes.max(self.in_use_bytes + self.scratch_bytes + self.gemm.bytes());
     }
 
     /// Publishes the peak live-byte gauge (`infer.workspace_bytes`) when it

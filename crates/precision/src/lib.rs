@@ -17,6 +17,12 @@
 //! * [`QuantizedNetwork`] — wraps a trained [`pgmr_nn::Network`],
 //!   quantizing the weights once and every inter-layer activation via the
 //!   network's activation hook (the simulated load/store boundary).
+//! * [`quant`] — *measured* narrow arithmetic: integer weight storage
+//!   ([`quant::QuantizedMatrix`]) and a dense execution path
+//!   ([`quant::QuantizedLinear`]) that runs `pgmr_tensor`'s packed
+//!   `i8`/`i16` GEMM kernels instead of simulating narrowness with
+//!   quantize-to-f32 round-trips, so RAMR's modeled savings show up as
+//!   wall-clock savings (benchmarked in `crates/bench`).
 //!
 //! ## Example
 //!
@@ -29,10 +35,31 @@
 //! assert!((q - 0.123456789f32).abs() < 0.123456789 * 0.02);
 //! ```
 
+pub mod quant;
+
 use pgmr_nn::Network;
 use pgmr_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// An invalid [`Precision`] width, reported by [`Precision::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidPrecision {
+    /// The rejected total width.
+    pub total_bits: u32,
+}
+
+impl fmt::Display for InvalidPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total bits must be in 10..=32 (1 sign + 8 exponent + at least 1 mantissa bit), got {}",
+            self.total_bits
+        )
+    }
+}
+
+impl std::error::Error for InvalidPrecision {}
 
 /// A narrowed floating-point format: 1 sign bit + 8 exponent bits +
 /// `total_bits - 9` mantissa bits.
@@ -50,9 +77,25 @@ impl Precision {
     /// # Panics
     ///
     /// Panics unless `10 <= total_bits <= 32` (at least one mantissa bit).
+    /// Fallible callers (sweeps over externally supplied widths) use
+    /// [`Precision::try_new`].
     pub fn new(total_bits: u32) -> Self {
-        assert!((10..=32).contains(&total_bits), "total bits must be in 10..=32, got {total_bits}");
-        Precision { total_bits }
+        match Precision::try_new(total_bits) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects widths outside `10..=32` with a
+    /// descriptive error instead of panicking. Validating here is what
+    /// makes [`Precision::mantissa_bits`]'s `total_bits - 9` safe — a
+    /// sub-9-bit width would underflow the subtraction.
+    pub fn try_new(total_bits: u32) -> Result<Self, InvalidPrecision> {
+        if (10..=32).contains(&total_bits) {
+            Ok(Precision { total_bits })
+        } else {
+            Err(InvalidPrecision { total_bits })
+        }
     }
 
     /// Total bit width.
@@ -60,8 +103,10 @@ impl Precision {
         self.total_bits
     }
 
-    /// Mantissa bits retained.
+    /// Mantissa bits retained. Cannot underflow: construction rejects
+    /// widths below 10 (see [`Precision::try_new`]).
     pub fn mantissa_bits(&self) -> u32 {
+        debug_assert!(self.total_bits >= 10, "unvalidated Precision width {}", self.total_bits);
         self.total_bits - 9
     }
 
@@ -76,7 +121,11 @@ impl Precision {
     /// Quantizes a value to this format with round-to-nearest-even.
     ///
     /// Non-finite inputs pass through unchanged; zero stays exactly zero;
-    /// the operation is idempotent and sign-symmetric.
+    /// the operation is idempotent and sign-symmetric. Finite inputs stay
+    /// finite: a round-up that would carry past the largest finite
+    /// exponent saturates to the format's maximum finite value instead of
+    /// overflowing to infinity (finite in, non-finite out would trip
+    /// ABFT's finiteness scan on legitimate data).
     pub fn quantize(&self, v: f32) -> f32 {
         let m = self.mantissa_bits();
         // pgmr-lint: allow(float-eq): exact-zero early-out — quantizing ±0.0 must return it bit-identically
@@ -91,10 +140,28 @@ impl Precision {
         let mut out = bits & !mask;
         if rem > half || (rem == half && (bits >> shift) & 1 == 1) {
             // Carry may propagate into the exponent, which is exactly the
-            // IEEE round-up behavior.
+            // IEEE round-up behavior — except at the very top of the range,
+            // where e.g. f32::MAX (mantissa all ones) would carry exponent
+            // 254 → 255 and turn finite data into +Inf. Saturate there.
             out = out.wrapping_add(1 << shift);
+            if !f32::from_bits(out).is_finite() {
+                out = (bits & 0x8000_0000) | self.max_finite_magnitude_bits();
+            }
         }
         f32::from_bits(out)
+    }
+
+    /// Bit pattern of the format's largest finite magnitude: exponent 254
+    /// with the retained mantissa bits all ones.
+    fn max_finite_magnitude_bits(&self) -> u32 {
+        let m = self.mantissa_bits().min(23);
+        (254u32 << 23) | (((1u32 << m) - 1) << (23 - m))
+    }
+
+    /// The format's largest representable finite value ([`Self::quantize`]
+    /// saturates to ±this at the top of the range).
+    pub fn max_finite(&self) -> f32 {
+        f32::from_bits(self.max_finite_magnitude_bits())
     }
 
     /// Quantizes every element of a tensor in place.
@@ -303,5 +370,50 @@ mod tests {
     #[should_panic(expected = "total bits")]
     fn rejects_too_few_bits() {
         Precision::new(9);
+    }
+
+    #[test]
+    fn try_new_validates_width_range() {
+        // Regression: widths below 9 used to reach `total_bits - 9` on u32
+        // (panic in debug, wrap to a huge mantissa count in release). The
+        // constructor must reject them with a descriptive error instead.
+        for bad in [0u32, 5, 8, 9, 33, 64] {
+            let err = Precision::try_new(bad).expect_err("width must be rejected");
+            assert_eq!(err.total_bits, bad);
+            let msg = err.to_string();
+            assert!(msg.contains("10..=32"), "error must name the valid range: {msg}");
+            assert!(msg.contains(&bad.to_string()), "error must echo the width: {msg}");
+        }
+        for good in 10u32..=32 {
+            let p = Precision::try_new(good).expect("valid width");
+            assert_eq!(p.total_bits(), good);
+            assert!(p.mantissa_bits() >= 1, "every valid format keeps a mantissa bit");
+            assert_eq!(p.mantissa_bits(), good - 9);
+        }
+    }
+
+    #[test]
+    fn quantize_saturates_instead_of_overflowing_to_inf() {
+        // Regression: f32::MAX has an all-ones mantissa, so truncating
+        // formats see a remainder past the halfway point and round up —
+        // which used to carry exponent 254 → 255 and produce +Inf from
+        // finite input.
+        for bits in 10u32..32 {
+            let p = Precision::new(bits);
+            for v in [f32::MAX, -f32::MAX] {
+                let q = p.quantize(v);
+                assert!(q.is_finite(), "{bits}-bit quantize({v}) must stay finite, got {q}");
+                assert_eq!(q.abs(), p.max_finite(), "{bits}-bit saturation value");
+                assert_eq!(q.signum(), v.signum(), "{bits}-bit saturation sign");
+                assert_eq!(p.quantize(q), q, "{bits}-bit saturation must be idempotent");
+            }
+        }
+        // True non-finite inputs still pass through unchanged.
+        let p = Precision::new(14);
+        assert_eq!(p.quantize(f32::INFINITY), f32::INFINITY);
+        assert_eq!(p.quantize(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        // Values the format can represent exactly at the top stay put, and
+        // values just under the saturation point round *down* to it.
+        assert_eq!(p.quantize(p.max_finite()), p.max_finite());
     }
 }

@@ -23,10 +23,11 @@ pub enum ChecksumKind {
     /// A column sum of the result disagreed with `(e·A)·B`.
     Col,
     /// A GEMM input (operand or folded bias) was NaN/Inf at derivation
-    /// time. The multiply's zero-skip fast path turns `0 × NaN/Inf` into
-    /// `0`, so a corrupted weight behind a zero activation can leave every
-    /// row/column sum finite and consistent — the explicit input scan is
-    /// what keeps such corruption from hiding.
+    /// time. The kernels are uniformly non-skipping, so `0 × NaN/Inf`
+    /// propagates into the output per IEEE semantics — but a NaN-poisoned
+    /// output makes *every* row/column comparison NaN-vs-NaN and therefore
+    /// unverifiable, so the explicit input scan is still what turns such
+    /// corruption into a crisp, attributable fault.
     NonFinite,
     /// Duplicated execution (compute-twice-compare) disagreed: an element
     /// of a layer's canonical output deviated from an independent
@@ -260,17 +261,18 @@ impl GemmChecksums {
     /// `tolerance × scale + tolerance` where `scale` is the matching
     /// absolute-magnitude sum. Returns the first violated checksum. If any
     /// input was NaN/Inf at derivation time the result is rejected
-    /// outright ([`ChecksumKind::NonFinite`]) — such corruption can
-    /// otherwise hide behind the multiply's `a == 0` fast path.
+    /// outright ([`ChecksumKind::NonFinite`]) — a NaN-poisoned output
+    /// would otherwise make every sum comparison NaN-vs-NaN and the
+    /// deviation test vacuous.
     ///
     /// # Panics
     ///
     /// Panics if `c.len() != m·n`.
     pub fn verify(&self, c: &[f32], tolerance: f32) -> Result<(), ChecksumFault> {
         assert_eq!(c.len(), self.m * self.n, "c must be {}x{}", self.m, self.n);
-        // Non-finite inputs fault unconditionally: the multiply's zero-skip
-        // can mask `0 × NaN/Inf` to a finite output, and an Inf expected
-        // sum would make the deviation test vacuous (`Inf > Inf` is false).
+        // Non-finite inputs fault unconditionally: NaN expected sums would
+        // make the deviation test vacuous, and an Inf expected sum likewise
+        // (`Inf > Inf` is false) — scan verdicts beat undefined comparisons.
         if !self.inputs_finite {
             return Err(ChecksumFault {
                 kind: ChecksumKind::NonFinite,
@@ -461,9 +463,9 @@ mod tests {
 
     #[test]
     fn nonfinite_weight_behind_zero_activation_is_detected() {
-        // gemm's `a_ip == 0.0` skip turns `0 × NaN` into nothing at all,
-        // so the product stays finite and every row/column sum matches —
-        // only the explicit input scan can flag the corruption.
+        // The kernels are non-skipping, so `0 × NaN` poisons the affected
+        // output column per IEEE semantics; the input scan must still be
+        // what reports the fault (NaN-vs-NaN sums verify nothing).
         let mut rng = StdRng::seed_from_u64(6);
         let (m, k, n) = (4, 6, 5);
         let mut a = random(m * k, &mut rng);
@@ -476,10 +478,13 @@ mod tests {
         }
         let mut c = vec![0.0; m * n];
         crate::gemm::gemm(m, k, n, &a, &b, &mut c);
-        assert!(c.iter().all(|v| v.is_finite()), "zero-skip must mask the NaN in the output");
+        assert!(
+            c.iter().any(|v| v.is_nan()),
+            "non-skipping kernels must propagate 0×NaN into the output"
+        );
         let fault = GemmChecksums::for_ab(m, k, n, &a, &b)
             .verify(&c, DEFAULT_TOLERANCE)
-            .expect_err("masked NaN weight must be detected");
+            .expect_err("NaN weight must be detected by the input scan");
         assert_eq!(fault.kind, ChecksumKind::NonFinite);
 
         // Same story in the dense-layer A·Bᵀ orientation, with Inf.

@@ -7,7 +7,8 @@
 //!   number of dimensions (the networks in this repository use the NCHW
 //!   convention for image batches),
 //! * [`Shape`] — lightweight shape algebra with strides and bounds checking,
-//! * [`gemm()`](gemm::gemm) — a blocked single-precision matrix multiply,
+//! * [`gemm()`](gemm::gemm) — a packed, cache-blocked, register-tiled matrix
+//!   multiply with quantized `i8`/`i16` variants,
 //! * [`conv`] — im2col/col2im convolution lowering,
 //! * [`ops`] — elementwise and reduction kernels (ReLU, softmax, argmax, …).
 //!
@@ -37,7 +38,10 @@ pub mod tensor;
 
 pub use checksum::{checked_gemm, ChecksumFault, ChecksumKind, GemmChecksums};
 pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
-pub use gemm::{gemm, gemm_bias};
+pub use gemm::{
+    gemm, gemm_a_bt, gemm_a_bt_into, gemm_at_b, gemm_bias, gemm_i16, gemm_i16_into, gemm_i8,
+    gemm_i8_into, gemm_into, gemm_into_tuned, GemmScratch, GemmTuning, DEFAULT_TUNING,
+};
 pub use ops::{argmax, log_softmax, relu, relu_backward, softmax, softmax_in_place};
 pub use shape::Shape;
 pub use tensor::Tensor;
