@@ -35,6 +35,20 @@ pub struct StagedDecision {
     pub activated: usize,
 }
 
+/// A staged decision that may have been cut short by an exhausted
+/// escalation budget — the deadline-aware serving outcome of
+/// [`StagedEngine::decide_with_budget`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetedDecision {
+    /// The (possibly best-so-far) staged decision.
+    pub decision: StagedDecision,
+    /// True when the escalation budget expired before the protocol could
+    /// finish: the verdict is the best-so-far plurality over the members
+    /// that did run, not the full staged outcome — a deadline-degraded
+    /// answer.
+    pub budget_exhausted: bool,
+}
+
 impl StagedEngine {
     /// Creates an engine with an explicit priority order (member indices,
     /// highest priority first).
@@ -82,14 +96,16 @@ impl StagedEngine {
 
     /// Runs the staged protocol against precomputed per-member probability
     /// vectors for one input (`member_probs[m]` = member `m`'s softmax).
-    /// Only members the protocol activates are read.
+    /// Only members the protocol activates are read — borrowed, never
+    /// cloned (this is the serve hot path; a per-decision softmax copy
+    /// would be a needless allocation).
     ///
     /// # Panics
     ///
     /// Panics if `member_probs.len()` differs from the engine's member
     /// count.
     pub fn decide(&self, member_probs: &[Vec<f32>]) -> StagedDecision {
-        self.decide_with(|m| member_probs[m].clone(), member_probs.len())
+        self.decide_core(|m| &member_probs[m], member_probs.len(), |_| true).decision
     }
 
     /// Runs the staged protocol with a lazy per-member prediction provider
@@ -104,21 +120,66 @@ impl StagedEngine {
     /// # Panics
     ///
     /// Panics if `n_members` differs from the engine's member count.
-    pub fn decide_with(
+    pub fn decide_with<P: AsRef<[f32]>>(
         &self,
-        mut predict: impl FnMut(usize) -> Vec<f32>,
+        predict: impl FnMut(usize) -> P,
         n_members: usize,
     ) -> StagedDecision {
+        self.decide_core(predict, n_members, |_| true).decision
+    }
+
+    /// Runs the staged protocol under an *escalation budget* — the
+    /// deadline policy of the serving front-end. The first `Thr_Freq`
+    /// members (stage 1) always run; before every activation beyond them
+    /// `may_escalate(activated_so_far)` is consulted, and a `false` stops
+    /// the protocol with the best-so-far plurality verdict, marked
+    /// [`BudgetedDecision::budget_exhausted`]. With an always-true budget
+    /// this is exactly [`StagedEngine::decide_with`].
+    ///
+    /// Budget-stopped decisions report their exit into the
+    /// `rade.budget_stopped_total` counter (alongside the usual
+    /// `rade.activated` histogram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_members` differs from the engine's member count.
+    pub fn decide_with_budget<P: AsRef<[f32]>>(
+        &self,
+        predict: impl FnMut(usize) -> P,
+        n_members: usize,
+        may_escalate: impl FnMut(usize) -> bool,
+    ) -> BudgetedDecision {
+        self.decide_core(predict, n_members, may_escalate)
+    }
+
+    /// The shared staged-protocol core: generic over the probability
+    /// provider (so precomputed-probs callers borrow instead of cloning)
+    /// and over the escalation budget.
+    fn decide_core<P: AsRef<[f32]>>(
+        &self,
+        mut predict: impl FnMut(usize) -> P,
+        n_members: usize,
+        mut may_escalate: impl FnMut(usize) -> bool,
+    ) -> BudgetedDecision {
         assert_eq!(n_members, self.priority.len(), "member count mismatch with priority order");
         let freq = self.thresholds.freq;
         let mut histogram: Vec<(usize, usize)> = Vec::new();
         let mut activated = 0usize;
         let mut hopeless = false;
+        let mut budget_exhausted = false;
 
         for (round, &member) in self.priority.iter().enumerate() {
+            // Stage 1 (the first Thr_Freq members) is unconditional — a
+            // verdict needs at least that many candidate votes. Escalating
+            // past it is what the budget gates.
+            if round >= freq && !may_escalate(activated) {
+                budget_exhausted = true;
+                break;
+            }
             let probs = predict(member);
+            let probs = probs.as_ref();
             activated += 1;
-            let class = argmax(&probs);
+            let class = argmax(probs);
             if probs[class] >= self.thresholds.conf {
                 match histogram.iter_mut().find(|(c, _)| *c == class) {
                     Some((_, count)) => *count += 1,
@@ -149,37 +210,46 @@ impl StagedEngine {
                     histogram.iter().filter(|&&(_, c)| c == best).map(|&(c, _)| c).collect();
                 if leaders.len() == 1 {
                     Self::note_exit(activated, "rade.early_reliable_total");
-                    return StagedDecision {
-                        verdict: Verdict::Reliable { class: leaders[0], votes: best },
-                        activated,
+                    return BudgetedDecision {
+                        decision: StagedDecision {
+                            verdict: Verdict::Reliable { class: leaders[0], votes: best },
+                            activated,
+                        },
+                        budget_exhausted: false,
                     };
                 }
             }
         }
         Self::note_exit(
             activated,
-            if hopeless { "rade.early_unreliable_total" } else { "rade.exhausted_total" },
+            if budget_exhausted {
+                "rade.budget_stopped_total"
+            } else if hopeless {
+                "rade.early_unreliable_total"
+            } else {
+                "rade.exhausted_total"
+            },
         );
 
-        // Exhausted (or provably hopeless): final plurality with the
-        // accumulated votes, mirroring the full engine's rules.
-        if histogram.is_empty() {
-            return StagedDecision {
-                verdict: Verdict::Unreliable { class: None, votes: 0 },
-                activated,
-            };
-        }
-        let best = histogram.iter().map(|&(_, c)| c).max().expect("non-empty");
-        let mut leaders: Vec<usize> =
-            histogram.iter().filter(|&&(_, c)| c == best).map(|&(c, _)| c).collect();
-        leaders.sort_unstable();
-        let class = leaders[0];
-        let verdict = if leaders.len() == 1 && best >= freq {
-            Verdict::Reliable { class, votes: best }
+        // Exhausted (or provably hopeless, or budget-stopped): final
+        // plurality with the accumulated votes, mirroring the full
+        // engine's rules.
+        let decision = if histogram.is_empty() {
+            StagedDecision { verdict: Verdict::Unreliable { class: None, votes: 0 }, activated }
         } else {
-            Verdict::Unreliable { class: Some(class), votes: best }
+            let best = histogram.iter().map(|&(_, c)| c).max().expect("non-empty");
+            let mut leaders: Vec<usize> =
+                histogram.iter().filter(|&&(_, c)| c == best).map(|&(c, _)| c).collect();
+            leaders.sort_unstable();
+            let class = leaders[0];
+            let verdict = if leaders.len() == 1 && best >= freq {
+                Verdict::Reliable { class, votes: best }
+            } else {
+                Verdict::Unreliable { class: Some(class), votes: best }
+            };
+            StagedDecision { verdict, activated }
         };
-        StagedDecision { verdict, activated }
+        BudgetedDecision { decision, budget_exhausted }
     }
 
     /// Records one staged decision's activation cost and exit path.
@@ -195,8 +265,12 @@ impl StagedEngine {
 ///
 /// # Panics
 ///
-/// Panics if any member's sample count differs from `labels.len()`.
+/// Panics if `labels` is empty (an empty profiling set would make every
+/// contribution `0/0 = NaN`, which only surfaces later as a cryptic sort
+/// failure inside [`StagedEngine::from_contributions`]), or if any
+/// member's sample count differs from `labels.len()`.
 pub fn contributions(member_probs: &[Vec<Vec<f32>>], labels: &[usize]) -> Vec<f64> {
+    assert!(!labels.is_empty(), "contributions need a non-empty profiling set");
     member_probs
         .iter()
         .map(|probs| {
@@ -312,6 +386,72 @@ mod tests {
             }
             assert!(d.activated >= engine.thresholds().freq.min(3));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty profiling set")]
+    fn contributions_reject_empty_profiling_set() {
+        // Regression: an empty label set used to yield 0/0 = NaN
+        // contributions, which only blew up later inside
+        // `from_contributions`' sort comparator with the misleading
+        // message "finite contributions".
+        contributions(&[Vec::new(), Vec::new()], &[]);
+    }
+
+    #[test]
+    fn budgeted_decide_with_open_budget_matches_decide_with() {
+        let engine = StagedEngine::new(vec![0, 1, 2, 3], Thresholds::new(0.5, 2));
+        let cases = vec![
+            vec![onehot(1, 4, 0.9), onehot(1, 4, 0.9), onehot(2, 4, 0.9), onehot(3, 4, 0.9)],
+            vec![onehot(1, 4, 0.9), onehot(2, 4, 0.9), onehot(1, 4, 0.9), onehot(3, 4, 0.9)],
+            vec![onehot(0, 4, 0.6), onehot(1, 4, 0.6), onehot(2, 4, 0.6), onehot(3, 4, 0.6)],
+        ];
+        for probs in cases {
+            let plain = engine.decide(&probs);
+            let budgeted = engine.decide_with_budget(|m| &probs[m], probs.len(), |_| true);
+            assert_eq!(budgeted.decision, plain);
+            assert!(!budgeted.budget_exhausted);
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_returns_best_so_far_marked_degraded() {
+        // Stage 1 (freq = 2) disagrees, so the protocol wants member 2 —
+        // but the budget refuses every escalation. The best-so-far
+        // plurality comes back marked deadline-degraded, with only the
+        // stage-1 members activated.
+        let engine = StagedEngine::new(vec![0, 1, 2, 3], Thresholds::new(0.5, 2));
+        let probs =
+            vec![onehot(1, 4, 0.9), onehot(2, 4, 0.9), onehot(1, 4, 0.9), onehot(1, 4, 0.9)];
+        let out = engine.decide_with_budget(|m| &probs[m], probs.len(), |_| false);
+        assert!(out.budget_exhausted);
+        assert_eq!(out.decision.activated, 2);
+        assert_eq!(out.decision.verdict, Verdict::Unreliable { class: Some(1), votes: 1 });
+        // An open budget on the same input escalates and resolves.
+        let open = engine.decide(&probs);
+        assert_eq!(open.verdict, Verdict::Reliable { class: 1, votes: 2 });
+        assert_eq!(open.activated, 3);
+    }
+
+    #[test]
+    fn budget_is_only_consulted_for_escalations() {
+        // Even a never-true budget runs all of stage 1.
+        let engine = StagedEngine::new(vec![0, 1, 2], Thresholds::new(0.5, 3));
+        let probs = [onehot(0, 3, 0.9), onehot(0, 3, 0.9), onehot(0, 3, 0.9)];
+        let mut asked = Vec::new();
+        let out = engine.decide_with_budget(
+            |m| &probs[m],
+            3,
+            |activated| {
+                asked.push(activated);
+                false
+            },
+        );
+        // freq = 3 means every member is stage 1: the budget is never
+        // consulted and the full protocol runs.
+        assert!(asked.is_empty());
+        assert!(!out.budget_exhausted);
+        assert_eq!(out.decision.verdict, Verdict::Reliable { class: 0, votes: 3 });
     }
 
     #[test]

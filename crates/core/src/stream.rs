@@ -108,12 +108,52 @@ impl ReliabilityMonitor {
         self
     }
 
+    /// Default floor for calibrated alarm thresholds: no matter how clean
+    /// validation was, the stream must flag at least this fraction of a
+    /// window before the monitor alarms. See
+    /// [`ReliabilityMonitor::calibrated`].
+    pub const DEFAULT_MIN_ALARM_RATE: f64 = 0.05;
+
     /// Calibrates the alarm threshold from an expected (validation-time)
     /// flag rate with a multiplicative margin: `alarm = expected * margin`,
-    /// clamped to `(0, 1]`. A margin of 3 alarms when the stream flags 3×
-    /// more often than validation did.
+    /// clamped to `[DEFAULT_MIN_ALARM_RATE, 1]`. A margin of 3 alarms when
+    /// the stream flags 3× more often than validation did.
+    ///
+    /// The floor matters when validation flagged nothing: without it a
+    /// zero expected rate would collapse the threshold to an epsilon and a
+    /// *single* flagged verdict in any window would alarm immediately —
+    /// a hair trigger, not a drift detector. With the default floor of
+    /// [`ReliabilityMonitor::DEFAULT_MIN_ALARM_RATE`] (5%), at least 5% of
+    /// a window must flag. Use
+    /// [`ReliabilityMonitor::calibrated_with_floor`] to choose the minimum
+    /// explicitly.
     pub fn calibrated(window: usize, expected_flag_rate: f64, margin: f64) -> Self {
-        let rate = (expected_flag_rate * margin).clamp(1e-6, 1.0);
+        Self::calibrated_with_floor(
+            window,
+            expected_flag_rate,
+            margin,
+            Self::DEFAULT_MIN_ALARM_RATE,
+        )
+    }
+
+    /// [`ReliabilityMonitor::calibrated`] with an explicit minimum alarm
+    /// rate: `alarm = (expected * margin).clamp(min_alarm_rate, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_alarm_rate` is outside `(0, 1]` (the resulting alarm
+    /// rate must satisfy [`ReliabilityMonitor::new`]'s contract).
+    pub fn calibrated_with_floor(
+        window: usize,
+        expected_flag_rate: f64,
+        margin: f64,
+        min_alarm_rate: f64,
+    ) -> Self {
+        assert!(
+            min_alarm_rate > 0.0 && min_alarm_rate <= 1.0,
+            "minimum alarm rate must be in (0, 1], got {min_alarm_rate}"
+        );
+        let rate = (expected_flag_rate * margin).clamp(min_alarm_rate, 1.0);
         ReliabilityMonitor::new(window, rate)
     }
 
@@ -350,6 +390,44 @@ mod tests {
         // Extreme margins clamp into (0, 1].
         let clamped = ReliabilityMonitor::calibrated(10, 0.9, 5.0);
         assert!(clamped.alarm_rate <= 1.0);
+    }
+
+    #[test]
+    fn zero_validation_rate_is_not_a_hair_trigger() {
+        // Regression: a spotless validation run used to clamp the alarm
+        // threshold to 1e-6, so one flagged verdict in any window alarmed
+        // immediately. The documented floor keeps the threshold at a
+        // meaningful fraction of the window.
+        let mut m = ReliabilityMonitor::calibrated(40, 0.0, 3.0);
+        assert!(
+            (m.alarm_rate - ReliabilityMonitor::DEFAULT_MIN_ALARM_RATE).abs() < 1e-12,
+            "zero expected rate must clamp to the documented floor, got {}",
+            m.alarm_rate
+        );
+        for _ in 0..39 {
+            m.observe(&reliable());
+        }
+        // A single flag in the 40-wide window: rate 1/40 = 0.025 < 0.05.
+        m.observe(&flagged());
+        assert_eq!(m.health(), StreamHealth::Healthy, "single flag must not alarm");
+        // A second flag reaches the 5% floor and alarms.
+        m.observe(&flagged());
+        assert_eq!(m.health(), StreamHealth::Degraded);
+    }
+
+    #[test]
+    fn explicit_floor_is_respected() {
+        let m = ReliabilityMonitor::calibrated_with_floor(10, 0.0, 3.0, 0.25);
+        assert!((m.alarm_rate - 0.25).abs() < 1e-12);
+        // A measured rate above the floor passes through unchanged.
+        let m = ReliabilityMonitor::calibrated_with_floor(10, 0.2, 2.0, 0.25);
+        assert!((m.alarm_rate - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum alarm rate")]
+    fn rejects_zero_floor() {
+        ReliabilityMonitor::calibrated_with_floor(10, 0.1, 3.0, 0.0);
     }
 
     #[test]

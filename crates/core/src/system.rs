@@ -3,7 +3,7 @@
 
 use crate::decision::{DecisionEngine, Thresholds, Verdict};
 use crate::ensemble::{Ensemble, Member};
-use crate::rade::{StagedDecision, StagedEngine};
+use crate::rade::{BudgetedDecision, StagedDecision, StagedEngine};
 use crate::stream::ReliabilityMonitor;
 use pgmr_datasets::Dataset;
 use pgmr_faults::VulnerabilityProfile;
@@ -171,6 +171,13 @@ impl PolygraphSystem {
     /// True when RADE staged activation is enabled.
     pub fn is_staged(&self) -> bool {
         self.staged.is_some()
+    }
+
+    /// The active staged engine, if RADE is enabled — the serving
+    /// front-end reads it to replicate the system's decision policy onto
+    /// its per-worker member replicas.
+    pub fn staged_engine(&self) -> Option<&StagedEngine> {
+        self.staged.as_ref()
     }
 
     /// Enables (or disables) ABFT-guarded fault-tolerant inference. While
@@ -465,25 +472,7 @@ impl PolygraphSystem {
         thresholds: Thresholds,
         image: &Tensor,
     ) -> StagedDecision {
-        let decision = match staged {
-            Some(staged) => {
-                let n = members.len();
-                // Split borrow: the closure indexes members directly.
-                let mut predict = |m: usize| timed_predict(&mut members[m], m, image);
-                staged.decide_with(&mut predict, n)
-            }
-            None => {
-                let probs: Vec<Vec<f32>> = members
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(i, m)| timed_predict(m, i, image))
-                    .collect();
-                let verdict = DecisionEngine::new(thresholds).decide(&probs);
-                StagedDecision { verdict, activated: members.len() }
-            }
-        };
-        note_verdict(&decision.verdict);
-        decision
+        decide_request(members, staged, thresholds, image, |_| true).decision
     }
 
     /// Batch-mode inference over `pool`: classifies every image with
@@ -565,6 +554,50 @@ impl PolygraphSystem {
         }
         (pgmr_metrics::summarize(&outcomes), activations)
     }
+}
+
+/// One un-guarded (plain or RADE) per-request decision over a member
+/// slice, with an escalation budget — the per-request core the serving
+/// front-end (`pgmr-serve`) runs on its worker-owned member replicas.
+///
+/// With RADE (`staged` set) the first `Thr_Freq` members always run and
+/// `may_escalate(activated_so_far)` gates every activation beyond them;
+/// a refused escalation returns the best-so-far plurality marked
+/// [`BudgetedDecision::budget_exhausted`] — the deadline-degraded answer.
+/// Without RADE every member runs and the budget is ignored (the
+/// always-full-ensemble serving mode). With an always-true budget this is
+/// bit-identical to [`PolygraphSystem::infer_counted`] on an unguarded
+/// system.
+///
+/// Forward passes report into the per-member `infer.forward_ns.m{i}`
+/// timers and the emitted verdict into the reliable/unreliable tallies,
+/// exactly like system-level inference.
+pub fn decide_request(
+    members: &mut [Member],
+    staged: Option<&StagedEngine>,
+    thresholds: Thresholds,
+    image: &Tensor,
+    may_escalate: impl FnMut(usize) -> bool,
+) -> BudgetedDecision {
+    let out = match staged {
+        Some(staged) => {
+            let n = members.len();
+            // Split borrow: the closure indexes members directly.
+            let mut predict = |m: usize| timed_predict(&mut members[m], m, image);
+            staged.decide_with_budget(&mut predict, n, may_escalate)
+        }
+        None => {
+            let probs: Vec<Vec<f32>> =
+                members.iter_mut().enumerate().map(|(i, m)| timed_predict(m, i, image)).collect();
+            let verdict = DecisionEngine::new(thresholds).decide(&probs);
+            BudgetedDecision {
+                decision: StagedDecision { verdict, activated: members.len() },
+                budget_exhausted: false,
+            }
+        }
+    };
+    note_verdict(&out.decision.verdict);
+    out
 }
 
 #[cfg(test)]

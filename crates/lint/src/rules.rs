@@ -199,11 +199,15 @@ fn float_eq(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 /// `wall-clock`: `Instant::now`, `SystemTime`, or `UNIX_EPOCH` outside
-/// `crates/obs` and `crates/bench`. Timing belongs behind `pgmr_obs`
-/// spans/histograms so seeded runs stay byte-identical in deterministic
-/// exports.
+/// `crates/obs`, `crates/bench`, and `crates/serve`. Timing belongs
+/// behind `pgmr_obs` spans/histograms so seeded runs stay byte-identical
+/// in deterministic exports; the serving front-end is exempt because
+/// deadlines and admission windows are inherently wall-clock.
 fn wall_clock(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
-    if ctx.relpath.starts_with("crates/obs/") || ctx.relpath.starts_with("crates/bench/") {
+    if ctx.relpath.starts_with("crates/obs/")
+        || ctx.relpath.starts_with("crates/bench/")
+        || ctx.relpath.starts_with("crates/serve/")
+    {
         return;
     }
     let toks = &ctx.lexed.tokens;
@@ -222,7 +226,7 @@ fn wall_clock(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
                 t,
                 "wall-clock",
                 format!(
-                    "wall-clock read `{}` outside pgmr-obs/pgmr-bench — route timing through pgmr_obs spans or `Histogram::time`",
+                    "wall-clock read `{}` outside pgmr-obs/pgmr-bench/pgmr-serve — route timing through pgmr_obs spans or `Histogram::time`",
                     t.text
                 ),
             ));
@@ -230,12 +234,13 @@ fn wall_clock(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// `stray-spawn`: `thread::spawn` (or any `.spawn(…)` call) outside
-/// `pgmr_nn::pool`, the workspace's one sanctioned thread owner —
-/// threads spawned elsewhere dodge the pool's panic capture, ordering
-/// and instrumentation guarantees.
+/// `stray-spawn`: `thread::spawn` (or any `.spawn(…)` call) outside the
+/// sanctioned thread owners — `pgmr_nn::pool` (worker threads) and
+/// `crates/serve` (the one batcher thread per front-end, joined on
+/// shutdown with its panic re-raised). Threads spawned elsewhere dodge
+/// the pool's panic capture, ordering and instrumentation guarantees.
 fn stray_spawn(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
-    if ctx.relpath == "crates/nn/src/pool.rs" {
+    if ctx.relpath == "crates/nn/src/pool.rs" || ctx.relpath.starts_with("crates/serve/src/") {
         return;
     }
     let toks = &ctx.lexed.tokens;
@@ -250,7 +255,8 @@ fn stray_spawn(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
                 ctx,
                 t,
                 "stray-spawn",
-                "thread spawned outside pgmr_nn::pool — use the shared worker pool".to_string(),
+                "thread spawned outside pgmr_nn::pool / pgmr-serve — use the shared worker pool"
+                    .to_string(),
             ));
         }
     }
@@ -435,11 +441,12 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_allows_obs_and_bench() {
+    fn wall_clock_allows_obs_bench_and_serve() {
         let src = "fn f() { let _ = std::time::Instant::now(); }";
         assert_eq!(rules_on("crates/core/src/x.rs", src).len(), 1);
         assert!(rules_on("crates/obs/src/x.rs", src).is_empty());
         assert!(rules_on("crates/bench/benches/x.rs", src).is_empty());
+        assert!(rules_on("crates/serve/src/lib.rs", src).is_empty());
     }
 
     #[test]
@@ -460,9 +467,10 @@ mod tests {
     }
 
     #[test]
-    fn spawn_outside_pool_fires_inside_pool_does_not() {
+    fn spawn_outside_pool_fires_inside_pool_and_serve_does_not() {
         let src = "fn f() { std::thread::spawn(|| {}); }";
         assert_eq!(rules_on("crates/x/src/lib.rs", src).len(), 1);
         assert!(rules_on("crates/nn/src/pool.rs", src).is_empty());
+        assert!(rules_on("crates/serve/src/lib.rs", src).is_empty());
     }
 }

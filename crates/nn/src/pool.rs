@@ -15,7 +15,11 @@
 //! width: `run` returns exactly what executing the jobs sequentially in
 //! submission order would return. Every parallel path in the workspace
 //! (ensemble training, batch evaluation, fault campaigns) leans on this —
-//! parallel results are bit-identical to sequential ones.
+//! parallel results are bit-identical to sequential ones. The contract
+//! covers panic semantics too: *every* job in a batch runs to completion
+//! (so side effects are width-independent) and the earliest-submitted
+//! panic is re-raised afterwards, whether the batch ran inline or on the
+//! workers.
 //!
 //! ## Sizing
 //!
@@ -114,8 +118,31 @@ impl WorkerPool {
         let obs = pgmr_obs::global();
         obs.counter("pool.batches_total").inc();
         if self.threads() == 1 || n == 1 {
+            // The inline path mirrors the pooled path's panic semantics
+            // exactly: every job runs (a panicking job must not starve the
+            // ones submitted after it — side effects are width-independent)
+            // and the earliest-submitted panic is re-raised at the end.
+            // `pool.job_run_ns` is recorded per job for obs parity.
             obs.counter("pool.jobs_inline_total").add(n as u64);
-            return jobs.into_iter().map(|j| j()).collect();
+            let mut out = Vec::with_capacity(n);
+            let mut first_panic = None;
+            for job in jobs {
+                let run_span = obs.span("pool.job_run_ns");
+                let result = catch_unwind(AssertUnwindSafe(job));
+                run_span.finish();
+                match result {
+                    Ok(v) => out.push(v),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
+            }
+            return out;
         }
         let batch: Arc<Batch<T>> = Arc::new(Batch {
             results: Mutex::new((0..n).map(|_| None).collect()),
@@ -315,6 +342,49 @@ mod tests {
         // The workers caught the panic and keep serving.
         let jobs: Vec<_> = (0..4).map(|i| move || i).collect();
         assert_eq!(pool.run(jobs), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_side_effects_are_width_independent() {
+        // Regression: the inline path (width 1) used to abort at the first
+        // panicking job, so jobs submitted after it never ran — side
+        // effects diverged from the pooled path, which runs every job.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let run_ns_before = pgmr_obs::global().timer("pool.job_run_ns").count();
+        let mut counts = Vec::new();
+        for width in [1usize, 4] {
+            let pool = WorkerPool::new(width);
+            let ran = AtomicUsize::new(0);
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..5)
+                .map(|i| {
+                    let ran = &ran;
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        if i == 2 {
+                            panic!("middle job boom");
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            let payload = catch_unwind(AssertUnwindSafe(|| pool.run(jobs))).unwrap_err();
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(msg.contains("middle job boom"), "unexpected payload {msg:?}");
+            counts.push(ran.load(Ordering::SeqCst));
+        }
+        assert_eq!(counts, vec![5, 5], "every job must run at every width");
+        // Obs parity: the inline path records pool.job_run_ns too.
+        assert!(pgmr_obs::global().timer("pool.job_run_ns").count() >= run_ns_before + 10);
+    }
+
+    #[test]
+    fn earliest_submitted_panic_wins_inline_too() {
+        // The width-1 inline path shares the earliest-panic contract.
+        let pool = WorkerPool::new(1);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> =
+            vec![Box::new(|| panic!("first")), Box::new(|| panic!("second"))];
+        let payload = catch_unwind(AssertUnwindSafe(|| pool.run(jobs))).unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "first");
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`metrics`] — reliability metrics and Pareto tools,
 //! * [`calibration`] — temperature scaling,
 //! * [`obs`] — the observability substrate (counters, span timers,
-//!   event log) every hot path reports into.
+//!   event log) every hot path reports into,
+//! * [`serve`] — the deadline-aware streaming inference front-end
+//!   (dynamic batching + budgeted RADE staging).
 //!
 //! ## Example
 //!
@@ -41,5 +43,6 @@ pub use pgmr_obs as obs;
 pub use pgmr_perf as perf;
 pub use pgmr_precision as precision;
 pub use pgmr_preprocess as preprocess;
+pub use pgmr_serve as serve;
 pub use pgmr_tensor as tensor;
 pub use polygraph_mr as core;
