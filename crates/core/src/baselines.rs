@@ -46,6 +46,7 @@ impl McDropout {
 
     /// Predictive distribution for one image: the mean softmax over `T`
     /// stochastic passes.
+    // pgmr-lint: boundary(hot-path-alloc): MC-dropout is an offline baseline whose T-pass mean vector is allocated per call by design
     pub fn predict(&mut self, image: &Tensor) -> Vec<f32> {
         let classes = self.network.num_classes();
         let mut mean = vec![0.0f32; classes];

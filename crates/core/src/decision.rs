@@ -129,6 +129,7 @@ impl DecisionEngine {
     ///
     /// Panics if `member_probs` is empty or any probability vector is
     /// empty.
+    // pgmr-lint: boundary(hot-path-alloc): the vote histogram and leader list are bounded by ensemble size (≤16 entries); the per-image invariant targets the per-pixel kernels
     pub fn decide(&self, member_probs: &[Vec<f32>]) -> Verdict {
         assert!(!member_probs.is_empty(), "decision requires at least one vote source");
         let mut histogram: Vec<(usize, usize)> = Vec::new(); // (class, count)

@@ -133,6 +133,7 @@ impl Member {
     /// Softmax probabilities for one raw image: the preprocessor is applied
     /// first, then the (possibly quantized, possibly fault-injected)
     /// forward pass.
+    // pgmr-lint: boundary(hot-path-alloc): the predict tier returns a fresh per-request probability vector by contract; the zero-alloc invariant governs the forward_into kernels beneath it
     pub fn predict(&mut self, image: &Tensor) -> Vec<f32> {
         let x = self.preprocessor.apply(image);
         let classes = self.network.num_classes();
@@ -255,6 +256,7 @@ impl Ensemble {
 
     /// Per-member softmax vectors for one image: `out[m]` is member `m`'s
     /// probability vector.
+    // pgmr-lint: boundary(hot-path-alloc): per-request marshalling of member probability vectors is the predict tier's contract
     pub fn predict(&mut self, image: &Tensor) -> Vec<Vec<f32>> {
         self.members.iter_mut().map(|m| m.predict(image)).collect()
     }

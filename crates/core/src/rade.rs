@@ -155,6 +155,7 @@ impl StagedEngine {
     /// The shared staged-protocol core: generic over the probability
     /// provider (so precomputed-probs callers borrow instead of cloning)
     /// and over the escalation budget.
+    // pgmr-lint: boundary(hot-path-alloc): the vote histogram is bounded by ensemble size (≤16 entries) and amortizes to one small realloc per request; the per-image invariant targets the per-pixel kernels
     fn decide_core<P: AsRef<[f32]>>(
         &self,
         mut predict: impl FnMut(usize) -> P,

@@ -190,6 +190,7 @@ impl ReliabilityMonitor {
             self.degraded = true;
             pgmr_obs::global().emit(
                 "monitor.alarm",
+                // pgmr-lint: allow(hot-path-alloc): formats only on the degraded->alarm edge transition, never in per-image steady state
                 format!("rate={:.4} seen={}", self.windowed_flag_rate(), self.total_seen),
             );
         }
@@ -199,6 +200,7 @@ impl ReliabilityMonitor {
         if self.degraded {
             self.degraded = false;
             pgmr_obs::global()
+                // pgmr-lint: allow(hot-path-alloc): formats only on the alarm->recovered edge transition, never in per-image steady state
                 .emit("monitor.recovered", format!("rate={rate:.4} seen={}", self.total_seen));
         }
     }

@@ -14,10 +14,38 @@ use pgmr_tensor::argmax;
 use pgmr_tensor::checksum::{ChecksumFault, DEFAULT_TOLERANCE};
 use pgmr_tensor::Tensor;
 
+/// Pre-rendered per-member timer names (`infer.forward_ns.m{i}`), so
+/// the per-image metrics lookup never formats a string. Snapshot tests
+/// pin these exact names; ensembles larger than the table share the
+/// overflow bucket.
+const FORWARD_TIMER_NAMES: &[&str] = &[
+    "infer.forward_ns.m0",
+    "infer.forward_ns.m1",
+    "infer.forward_ns.m2",
+    "infer.forward_ns.m3",
+    "infer.forward_ns.m4",
+    "infer.forward_ns.m5",
+    "infer.forward_ns.m6",
+    "infer.forward_ns.m7",
+    "infer.forward_ns.m8",
+    "infer.forward_ns.m9",
+    "infer.forward_ns.m10",
+    "infer.forward_ns.m11",
+    "infer.forward_ns.m12",
+    "infer.forward_ns.m13",
+    "infer.forward_ns.m14",
+    "infer.forward_ns.m15",
+];
+
+/// The timer name for member `index` (overflow shares the last slot).
+pub(crate) fn forward_timer_name(index: usize) -> &'static str {
+    FORWARD_TIMER_NAMES[index.min(FORWARD_TIMER_NAMES.len() - 1)]
+}
+
 /// Times one un-guarded member forward pass into the per-member latency
 /// histogram `infer.forward_ns.m{index}`.
 fn timed_predict(member: &mut Member, index: usize, image: &Tensor) -> Vec<f32> {
-    pgmr_obs::global().timer(&format!("infer.forward_ns.m{index}")).time(|| member.predict(image))
+    pgmr_obs::global().timer(forward_timer_name(index)).time(|| member.predict(image))
 }
 
 /// Tallies one emitted verdict into the reliable/unreliable counters.
@@ -337,7 +365,7 @@ impl PolygraphSystem {
                 .filter(|(m, _)| active[*m])
                 .map(|(m, member)| {
                     move || {
-                        let timer = pgmr_obs::global().timer(&format!("infer.forward_ns.m{m}"));
+                        let timer = pgmr_obs::global().timer(forward_timer_name(m));
                         let mut result = timer.time(|| member.predict_checked(image, tol));
                         let mut retried = 0;
                         while result.is_err() && retried < retries {
@@ -349,6 +377,7 @@ impl PolygraphSystem {
                 })
                 .collect();
             match pool {
+                // pgmr-lint: allow(nested-pool-run): the only closure of infer_batch reaching here is an inline iterator adapter on the caller's thread (the sequential fault-policy path), never a pool job
                 Some(pool) => pool.run(jobs),
                 None => jobs.into_iter().map(|mut job| job()).collect(),
             }
@@ -588,6 +617,7 @@ pub fn decide_request(
         }
         None => {
             let probs: Vec<Vec<f32>> =
+                // pgmr-lint: allow(hot-path-alloc): gathers the per-request probability vectors the predict tier returns by contract; bounded by ensemble size
                 members.iter_mut().enumerate().map(|(i, m)| timed_predict(m, i, image)).collect();
             let verdict = DecisionEngine::new(thresholds).decide(&probs);
             BudgetedDecision {

@@ -1,16 +1,23 @@
-//! Inline suppressions: `pgmr-lint: allow(rule-id): <reason>` line
-//! comments, with a mandatory reason and unused-allow detection.
+//! Inline directives: `pgmr-lint: allow(rule-id): <reason>` line
+//! comments (suppression with a mandatory reason plus unused-allow
+//! detection), and `pgmr-lint: boundary(rule-id): <reason>` (place the
+//! next function definition past the named call-graph rule's frontier:
+//! the rule neither reports inside it nor traverses through it — for
+//! documented allocating tiers like the reference oracles).
 //!
-//! A directive suppresses diagnostics of exactly one rule on its target
-//! line — the comment's own line when it trails code, otherwise the next
-//! line that carries code. A directive that suppresses nothing is itself
-//! reported (`unused-allow`), as is a malformed one (`invalid-allow`):
-//! unknown rule id, missing reason, or unparseable syntax. The meta
-//! rules cannot be suppressed.
+//! A directive targets exactly one line — the comment's own line when
+//! it trails code, otherwise the next line that carries code. An allow
+//! suppresses diagnostics of exactly one rule on its target line; one
+//! that suppresses nothing is itself reported (`unused-allow`), as is a
+//! malformed directive (`invalid-allow`): unknown rule id, missing
+//! reason, unparseable syntax, or a boundary naming a rule that does
+//! no traversal. The meta rules cannot be suppressed. A boundary whose
+//! target line is not a `fn` definition is reported by the engine in
+//! [`crate::lint_sources`].
 
 use crate::diag::Diagnostic;
 use crate::lexer::Lexed;
-use crate::rules::RULE_IDS;
+use crate::rules::{BOUNDARY_RULES, RULE_IDS};
 
 /// One parsed, well-formed suppression directive.
 #[derive(Debug)]
@@ -22,84 +29,143 @@ struct Allow {
     used: bool,
 }
 
+/// One parsed, well-formed boundary directive: the call-graph rule
+/// `rule` must not traverse past the function defined on `target_line`.
+#[derive(Debug)]
+pub struct Boundary {
+    pub rule: String,
+    pub line: usize,
+    pub column: usize,
+    pub target_line: usize,
+}
+
+/// Every directive found in one file.
+#[derive(Debug, Default)]
+pub struct FileDirectives {
+    allows: Vec<Allow>,
+    pub boundaries: Vec<Boundary>,
+    invalid: Vec<Diagnostic>,
+}
+
 /// The directive marker inside a line comment (after stripping doc
 /// slashes and leading whitespace).
-const MARKER: &str = "pgmr-lint:";
+pub const MARKER: &str = "pgmr-lint:";
 
-/// Applies every suppression directive in `lexed` to `diags`, removing
-/// suppressed findings and appending `unused-allow` / `invalid-allow`
-/// findings for directives that miss or fail to parse.
-pub fn apply(relpath: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
-    let mut allows: Vec<Allow> = Vec::new();
+/// Parses every `pgmr-lint:` directive in `lexed`.
+pub fn collect(relpath: &str, lexed: &Lexed) -> FileDirectives {
+    let mut dirs = FileDirectives::default();
     for comment in &lexed.comments {
         // Doc comments arrive as `/ …` or `! …`; strip to the payload.
         let payload = comment.text.trim_start_matches(['/', '!']).trim_start();
         let Some(rest) = payload.strip_prefix(MARKER) else { continue };
         let column = 1 + comment.text.len() - comment.text.trim_start().len();
         match parse_directive(rest.trim_start()) {
-            Ok(rule) => allows.push(Allow {
+            Ok(Directive::Allow(rule)) => dirs.allows.push(Allow {
                 rule,
                 line: comment.line,
                 column,
                 target_line: target_line(lexed, comment.line),
                 used: false,
             }),
-            Err(why) => diags.push(Diagnostic {
-                file: relpath.to_string(),
+            Ok(Directive::Boundary(rule)) => dirs.boundaries.push(Boundary {
+                rule,
                 line: comment.line,
                 column,
-                rule: "invalid-allow",
-                message: why,
+                target_line: target_line(lexed, comment.line),
             }),
+            Err(why) => dirs.invalid.push(Diagnostic::new(
+                relpath.to_string(),
+                comment.line,
+                column,
+                "invalid-allow",
+                why,
+            )),
         }
     }
+    dirs
+}
+
+/// Applies the collected allows to `diags`, removing suppressed
+/// findings and appending `unused-allow` / `invalid-allow` findings.
+pub fn apply_directives(relpath: &str, mut dirs: FileDirectives, diags: &mut Vec<Diagnostic>) {
+    diags.append(&mut dirs.invalid);
     diags.retain(|d| {
-        let suppressed = allows
+        let suppressed = dirs
+            .allows
             .iter_mut()
             .find(|a| a.rule == d.rule && a.target_line == d.line)
             .map(|a| a.used = true)
             .is_some();
         !suppressed
     });
-    for a in allows {
+    for a in dirs.allows {
         if !a.used {
-            diags.push(Diagnostic {
-                file: relpath.to_string(),
-                line: a.line,
-                column: a.column,
-                rule: "unused-allow",
-                message: format!(
+            diags.push(Diagnostic::new(
+                relpath.to_string(),
+                a.line,
+                a.column,
+                "unused-allow",
+                format!(
                     "allow({}) suppresses nothing on line {} — remove it or fix the target",
                     a.rule, a.target_line
                 ),
-            });
+            ));
         }
     }
 }
 
-/// Parses `allow(rule-id): reason` (the part after the marker).
-fn parse_directive(rest: &str) -> Result<String, String> {
-    let Some(rest) = rest.strip_prefix("allow(") else {
-        return Err("expected `allow(rule-id): <reason>` after the pgmr-lint marker".to_string());
+/// Single-file convenience: collect and apply in one step. Boundary
+/// directives are validated only in whole-workspace runs.
+pub fn apply(relpath: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    apply_directives(relpath, collect(relpath, lexed), diags);
+}
+
+enum Directive {
+    Allow(String),
+    Boundary(String),
+}
+
+/// Parses `allow(rule-id): reason` or `boundary(rule-id): reason` (the
+/// part after the marker).
+fn parse_directive(rest: &str) -> Result<Directive, String> {
+    let (kind, rest) = if let Some(r) = rest.strip_prefix("allow(") {
+        ("allow", r)
+    } else if let Some(r) = rest.strip_prefix("boundary(") {
+        ("boundary", r)
+    } else {
+        return Err(
+            "expected `allow(rule-id): <reason>` or `boundary(rule-id): <reason>` after the pgmr-lint marker"
+                .to_string(),
+        );
     };
     let Some(close) = rest.find(')') else {
-        return Err("unclosed `allow(` — expected `allow(rule-id): <reason>`".to_string());
+        return Err(format!("unclosed `{kind}(` — expected `{kind}(rule-id): <reason>`"));
     };
     let rule = rest[..close].trim();
-    if !RULE_IDS.contains(&rule) {
+    if kind == "allow" && !RULE_IDS.contains(&rule) {
         return Err(format!(
             "unknown rule `{rule}` — suppressible rules are: {}",
             RULE_IDS.join(", ")
+        ));
+    }
+    if kind == "boundary" && !BOUNDARY_RULES.contains(&rule) {
+        return Err(format!(
+            "boundary({rule}) — only call-graph rules take boundaries: {}",
+            BOUNDARY_RULES.join(", ")
         ));
     }
     let after = rest[close + 1..].trim_start();
     let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
     if reason.is_empty() {
         return Err(format!(
-            "allow({rule}) requires a reason: `allow({rule}): <why this is sound>`"
+            "{kind}({rule}) requires a reason: `{kind}({rule}): <why this is sound>`"
         ));
     }
-    Ok(rule.to_string())
+    Ok(if kind == "allow" {
+        Directive::Allow(rule.to_string())
+    } else {
+        Directive::Boundary(rule.to_string())
+    })
 }
 
 /// The line a directive on `comment_line` governs: its own line when
@@ -167,5 +233,37 @@ mod tests {
         let diags = lint(src);
         assert!(diags.iter().any(|d| d.rule == "float-eq"));
         assert!(diags.iter().any(|d| d.rule == "unused-allow"));
+    }
+
+    #[test]
+    fn semantic_rule_ids_are_suppressible() {
+        for rule in ["hot-path-alloc", "nested-pool-run", "lock-order"] {
+            let src = format!("// pgmr-lint: allow({rule}): placed for test\npub fn f() {{}}\n");
+            let diags = lint(&src);
+            assert_eq!(diags.len(), 1, "{rule}: {diags:?}");
+            assert_eq!(diags[0].rule, "unused-allow", "{rule} must parse as a known rule");
+        }
+    }
+
+    #[test]
+    fn boundary_parses_and_targets_next_fn_line() {
+        let src =
+            "// pgmr-lint: boundary(hot-path-alloc): allocating reference oracle\nfn shim() {}\n";
+        let dirs = collect("crates/x/src/lib.rs", &lex(src));
+        assert_eq!(dirs.boundaries.len(), 1);
+        assert_eq!(dirs.boundaries[0].rule, "hot-path-alloc");
+        assert_eq!(dirs.boundaries[0].target_line, 2);
+    }
+
+    #[test]
+    fn boundary_requires_traversal_rule_and_reason() {
+        let bad_rule = "// pgmr-lint: boundary(float-eq): nope\nfn f() {}\n";
+        let diags = lint(bad_rule);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "invalid-allow");
+        let no_reason = "// pgmr-lint: boundary(hot-path-alloc)\nfn f() {}\n";
+        let diags = lint(no_reason);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "invalid-allow");
     }
 }

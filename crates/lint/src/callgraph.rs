@@ -1,0 +1,155 @@
+//! The workspace call graph: resolved call edges plus BFS reachability
+//! with parent pointers, so every semantic diagnostic can carry a
+//! *witness chain* — the concrete call path from an invariant root to
+//! the offending function.
+
+use std::collections::VecDeque;
+
+use crate::index::{FnId, WorkspaceIndex};
+use crate::resolve::Resolver;
+
+/// `stop(f)` for [`Reach::compute`] that stops at functions carrying a
+/// `pgmr-lint: boundary(rule)` directive.
+pub fn boundary_stop<'a>(ix: &'a WorkspaceIndex, rule: &'a str) -> impl Fn(FnId) -> bool + 'a {
+    move |f| ix.fns[f].boundaries.iter().any(|b| b == rule)
+}
+
+/// Resolved call edges, one adjacency list per indexed function.
+pub struct CallGraph {
+    /// `edges[f]` = deduplicated candidate callees of `f`.
+    pub edges: Vec<Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Resolves every call site through `resolver` and builds the
+    /// adjacency lists.
+    pub fn build(ix: &WorkspaceIndex, resolver: &Resolver) -> CallGraph {
+        let mut edges: Vec<Vec<FnId>> = Vec::with_capacity(ix.fns.len());
+        for caller in 0..ix.fns.len() {
+            let mut out: Vec<FnId> = Vec::new();
+            for call in &ix.fns[caller].calls {
+                out.extend(resolver.resolve(ix, caller, call));
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        CallGraph { edges }
+    }
+}
+
+/// A reachability query result: which functions are reachable from the
+/// roots, and through which parent (for witness extraction).
+pub struct Reach {
+    /// `parent[f]` = the function we reached `f` from (`None` for
+    /// roots and unreached functions).
+    pub parent: Vec<Option<FnId>>,
+    /// `seen[f]` = reachable (roots included).
+    pub seen: Vec<bool>,
+}
+
+impl Reach {
+    /// BFS from `roots`. A function where `stop` answers true marks the
+    /// edge of the rule's world: it still lands on the reachable set
+    /// (so a witness can end there), but traversal does not descend out
+    /// of it — rules also skip reporting inside such functions (see
+    /// [`boundary_stop`] and the per-rule frontier predicates).
+    pub fn compute(graph: &CallGraph, roots: &[FnId], stop: impl Fn(FnId) -> bool) -> Reach {
+        let n = graph.edges.len();
+        let mut parent: Vec<Option<FnId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if !seen[r] {
+                seen[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            if stop(f) {
+                continue;
+            }
+            for &g in &graph.edges[f] {
+                if !seen[g] {
+                    seen[g] = true;
+                    parent[g] = Some(f);
+                    queue.push_back(g);
+                }
+            }
+        }
+        Reach { parent, seen }
+    }
+
+    /// The id chain root → … → `f` following parent pointers.
+    pub fn chain(&self, f: FnId) -> Vec<FnId> {
+        let mut ids = vec![f];
+        let mut cur = f;
+        while let Some(p) = self.parent[cur] {
+            ids.push(p);
+            cur = p;
+        }
+        ids.reverse();
+        ids
+    }
+
+    /// The witness chain root → … → `f`, as qualified names with
+    /// definition sites.
+    pub fn witness(&self, ix: &WorkspaceIndex, f: FnId) -> Vec<String> {
+        self.chain(f).into_iter().map(|id| ix.describe(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn build(src: &str) -> (WorkspaceIndex, CallGraph) {
+        let mut ix = WorkspaceIndex::default();
+        ix.add_file("crates/a/src/lib.rs", &lex(src), false, &[], &[]);
+        let r = Resolver::new(&ix);
+        let g = CallGraph::build(&ix, &r);
+        (ix, g)
+    }
+
+    fn id_of(ix: &WorkspaceIndex, name: &str) -> FnId {
+        (0..ix.fns.len()).find(|&i| ix.fns[i].name == name).expect("fn exists")
+    }
+
+    #[test]
+    fn bfs_reaches_transitively_and_records_witnesses() {
+        let (ix, g) = build("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn island() {}\n");
+        let (a, c, island) = (id_of(&ix, "a"), id_of(&ix, "c"), id_of(&ix, "island"));
+        let reach = Reach::compute(&g, &[a], boundary_stop(&ix, "hot-path-alloc"));
+        assert!(reach.seen[c]);
+        assert!(!reach.seen[island]);
+        let w = reach.witness(&ix, c);
+        assert_eq!(w.len(), 3);
+        assert!(w[0].starts_with("pgmr_a::a "));
+        assert!(w[2].starts_with("pgmr_a::c "));
+    }
+
+    #[test]
+    fn boundaries_stop_descent_but_stay_reachable() {
+        let src = "fn a() { shim(); }\nfn shim() { deep(); }\nfn deep() {}\n";
+        let mut ix = WorkspaceIndex::default();
+        let lexed = lex(src);
+        // `shim` is defined on line 2; mark it as a hot-path boundary.
+        ix.add_file(
+            "crates/a/src/lib.rs",
+            &lexed,
+            false,
+            &[],
+            &[(2, "hot-path-alloc".to_string())],
+        );
+        let r = Resolver::new(&ix);
+        let g = CallGraph::build(&ix, &r);
+        let (a, shim, deep) = (id_of(&ix, "a"), id_of(&ix, "shim"), id_of(&ix, "deep"));
+        let reach = Reach::compute(&g, &[a], boundary_stop(&ix, "hot-path-alloc"));
+        assert!(reach.seen[shim], "the boundary fn itself is reachable");
+        assert!(!reach.seen[deep], "descent stops at the boundary");
+        // A different rule ignores this boundary.
+        let other = Reach::compute(&g, &[a], boundary_stop(&ix, "nested-pool-run"));
+        assert!(other.seen[deep]);
+    }
+}

@@ -4,7 +4,8 @@
 
 use std::fmt;
 
-/// One finding: a rule fired at a source position.
+/// One finding: a rule fired at a source position. Semantic rules also
+/// attach a witness chain — the call path proving reachability.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Workspace-relative path with forward slashes.
@@ -13,41 +14,82 @@ pub struct Diagnostic {
     pub line: usize,
     /// 1-based column.
     pub column: usize,
-    /// The rule id (`float-eq`, `unused-allow`, …).
+    /// The rule id (`float-eq`, `hot-path-alloc`, `unused-allow`, …).
     pub rule: &'static str,
     /// What is wrong and what to do instead.
     pub message: String,
+    /// For call-graph rules: the witness chain, one qualified function
+    /// per entry (`crate::Type::name (file:line)`), from the invariant
+    /// root down to the flagged function. Empty for lexical rules.
+    pub witness: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no witness chain (every lexical finding).
+    pub fn new(
+        file: String,
+        line: usize,
+        column: usize,
+        rule: &'static str,
+        message: String,
+    ) -> Self {
+        Diagnostic { file, line, column, rule, message, witness: Vec::new() }
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.column, self.rule, self.message)
+        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.column, self.rule, self.message)?;
+        for (i, step) in self.witness.iter().enumerate() {
+            write!(f, "\n    {} {step}", if i == 0 { "witness:" } else { "      →" })?;
+        }
+        Ok(())
     }
 }
 
-/// The result of linting a file set.
+/// The result of linting a file set, plus index-size and timing
+/// metrics so CI can watch analysis cost across PRs.
 #[derive(Debug, Default)]
 pub struct LintReport {
     /// All findings, sorted by (file, line, column, rule).
     pub diagnostics: Vec<Diagnostic>,
     /// How many `.rs` files were scanned.
     pub files_scanned: usize,
+    /// How many functions the semantic indexer extracted.
+    pub indexed_fns: usize,
+    /// How many call sites the indexer extracted.
+    pub indexed_calls: usize,
+    /// Wall-clock of the whole lint run in milliseconds, when measured
+    /// (set by the CLI; deterministic tests leave it `None`).
+    pub wall_ms: Option<u64>,
 }
 
 impl LintReport {
     /// Canonical ordering so output is byte-stable run to run.
     pub fn sort(&mut self) {
         self.diagnostics.sort_by(|a, b| {
-            (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
+            (&a.file, a.line, a.column, a.rule, &a.witness)
+                .cmp(&(&b.file, b.line, b.column, b.rule, &b.witness))
         });
+        self.diagnostics.dedup();
     }
 
-    /// The machine-readable report: `{"version":1,"files_scanned":N,
-    /// "diagnostics":[{…}]}` with diagnostics in canonical order.
+    /// The machine-readable report: `{"version":2,"files_scanned":N,
+    /// "indexed_fns":N,"indexed_calls":N,…,"diagnostics":[{…}]}` with
+    /// diagnostics in canonical order. `wall_ms` appears only when
+    /// measured, keeping test output deterministic.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.diagnostics.len() * 128);
-        out.push_str("{\"version\":1,\"files_scanned\":");
+        out.push_str("{\"version\":2,\"files_scanned\":");
         out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"indexed_fns\":");
+        out.push_str(&self.indexed_fns.to_string());
+        out.push_str(",\"indexed_calls\":");
+        out.push_str(&self.indexed_calls.to_string());
+        if let Some(ms) = self.wall_ms {
+            out.push_str(",\"wall_ms\":");
+            out.push_str(&ms.to_string());
+        }
         out.push_str(",\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -63,6 +105,16 @@ impl LintReport {
             push_json_str(&mut out, d.rule);
             out.push_str(",\"message\":");
             push_json_str(&mut out, &d.message);
+            if !d.witness.is_empty() {
+                out.push_str(",\"witness\":[");
+                for (j, w) in d.witness.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(&mut out, w);
+                }
+                out.push(']');
+            }
             out.push('}');
         }
         out.push_str("]}");
@@ -94,43 +146,56 @@ mod tests {
 
     #[test]
     fn display_is_file_line_col_rule_message() {
-        let d = Diagnostic {
-            file: "crates/x/src/lib.rs".into(),
-            line: 7,
-            column: 3,
-            rule: "float-eq",
-            message: "exact float comparison".into(),
-        };
+        let d = Diagnostic::new(
+            "crates/x/src/lib.rs".into(),
+            7,
+            3,
+            "float-eq",
+            "exact float comparison".into(),
+        );
         assert_eq!(d.to_string(), "crates/x/src/lib.rs:7:3: float-eq: exact float comparison");
     }
 
     #[test]
-    fn json_escapes_and_sorts() {
+    fn display_appends_witness_chain() {
+        let mut d = Diagnostic::new("a.rs".into(), 1, 1, "hot-path-alloc", "alloc".into());
+        d.witness = vec!["x::root (a.rs:1)".into(), "x::leaf (a.rs:9)".into()];
+        let shown = d.to_string();
+        assert!(shown.contains("\n    witness: x::root (a.rs:1)"));
+        assert!(shown.contains("\n          → x::leaf (a.rs:9)"));
+    }
+
+    #[test]
+    fn json_escapes_sorts_and_carries_metrics() {
         let mut report = LintReport {
             diagnostics: vec![
-                Diagnostic {
-                    file: "b.rs".into(),
-                    line: 1,
-                    column: 1,
-                    rule: "float-eq",
-                    message: "say \"no\"".into(),
-                },
-                Diagnostic {
-                    file: "a.rs".into(),
-                    line: 2,
-                    column: 1,
-                    rule: "wall-clock",
-                    message: "tick".into(),
-                },
+                Diagnostic::new("b.rs".into(), 1, 1, "float-eq", "say \"no\"".into()),
+                Diagnostic::new("a.rs".into(), 2, 1, "wall-clock", "tick".into()),
             ],
             files_scanned: 2,
+            indexed_fns: 10,
+            indexed_calls: 40,
+            wall_ms: None,
         };
         report.sort();
         let json = report.to_json();
-        assert!(json.starts_with("{\"version\":1,\"files_scanned\":2,"));
+        assert!(json.starts_with(
+            "{\"version\":2,\"files_scanned\":2,\"indexed_fns\":10,\"indexed_calls\":40,"
+        ));
+        assert!(!json.contains("wall_ms"), "wall_ms only when measured");
         assert!(json.contains("say \\\"no\\\""));
         let a = json.find("a.rs").expect("a.rs present");
         let b = json.find("b.rs").expect("b.rs present");
         assert!(a < b, "diagnostics must be sorted by file");
+        report.wall_ms = Some(12);
+        assert!(report.to_json().contains(",\"wall_ms\":12,"));
+    }
+
+    #[test]
+    fn json_includes_witness_arrays() {
+        let mut d = Diagnostic::new("a.rs".into(), 1, 1, "hot-path-alloc", "m".into());
+        d.witness = vec!["root (a.rs:1)".into()];
+        let report = LintReport { diagnostics: vec![d], files_scanned: 1, ..Default::default() };
+        assert!(report.to_json().contains("\"witness\":[\"root (a.rs:1)\"]"));
     }
 }

@@ -1,0 +1,142 @@
+//! `--fix-allows`: mechanical removal of `unused-allow` suppressions.
+//!
+//! The linter already proves which `pgmr-lint: allow(…)` directives
+//! suppress nothing; this module removes exactly those comments from
+//! the source — the whole line when the directive stands alone, or the
+//! trailing comment (plus the whitespace before it) when it follows
+//! code. Everything else in the file is preserved byte-for-byte, so a
+//! file with no unused allows round-trips unchanged. The CLI runs this
+//! as a dry run by default and only rewrites files under `--write`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::allow::MARKER;
+use crate::diag::LintReport;
+use crate::lexer;
+
+/// One file's planned edit.
+#[derive(Debug)]
+pub struct FileFix {
+    /// Workspace-relative path.
+    pub relpath: String,
+    /// `(line, removed directive text)` per removal, in line order.
+    pub removals: Vec<(usize, String)>,
+    /// The file content after removal.
+    pub new_content: String,
+}
+
+/// Removes the `pgmr-lint:` directive comments sitting on the given
+/// 1-based `lines`. Returns the new content and what was removed; a
+/// line without a recognizable directive comment is left untouched.
+pub fn remove_directives(source: &str, lines: &[usize]) -> (String, Vec<(usize, String)>) {
+    let lexed = lexer::lex(source);
+    let mut removed: Vec<(usize, String)> = Vec::new();
+    let mut out = String::with_capacity(source.len());
+    for (i, raw) in source.split_inclusive('\n').enumerate() {
+        let lineno = i + 1;
+        if !lines.contains(&lineno) {
+            out.push_str(raw);
+            continue;
+        }
+        let Some(comment) = lexed.comments.iter().find(|c| {
+            c.line == lineno
+                && c.text.trim_start_matches(['/', '!']).trim_start().starts_with(MARKER)
+        }) else {
+            out.push_str(raw);
+            continue;
+        };
+        let needle = format!("//{}", comment.text);
+        let Some(at) = raw.rfind(&needle) else {
+            out.push_str(raw);
+            continue;
+        };
+        let prefix = &raw[..at];
+        let ending = &raw[at + needle.len()..]; // "\n", "\r\n", or ""
+        if prefix.trim().is_empty() {
+            // Directive-only line: drop it entirely, newline included.
+        } else {
+            // Trailing directive: keep the code, trim the gap.
+            out.push_str(prefix.trim_end());
+            out.push_str(ending.trim_start_matches([' ', '\t']));
+        }
+        removed.push((lineno, format!("//{}", comment.text.trim_end())));
+    }
+    (out, removed)
+}
+
+/// Plans the removal of every `unused-allow` the report found, reading
+/// each affected file under `root`.
+pub fn plan(root: &Path, report: &LintReport) -> io::Result<Vec<FileFix>> {
+    let mut by_file: Vec<(&str, Vec<usize>)> = Vec::new();
+    for d in report.diagnostics.iter().filter(|d| d.rule == "unused-allow") {
+        match by_file.iter_mut().find(|(f, _)| *f == d.file) {
+            Some((_, lines)) => lines.push(d.line),
+            None => by_file.push((&d.file, vec![d.line])),
+        }
+    }
+    let mut fixes = Vec::new();
+    for (relpath, lines) in by_file {
+        let source = fs::read_to_string(root.join(relpath))?;
+        let (new_content, removals) = remove_directives(&source, &lines);
+        if !removals.is_empty() {
+            fixes.push(FileFix { relpath: relpath.to_string(), removals, new_content });
+        }
+    }
+    Ok(fixes)
+}
+
+/// Writes the planned edits to disk.
+pub fn write(root: &Path, fixes: &[FileFix]) -> io::Result<()> {
+    for f in fixes {
+        fs::write(root.join(&f.relpath), &f.new_content)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_directive_line_is_removed_whole() {
+        let src = "fn a() {}\n// pgmr-lint: allow(float-eq): stale\nfn b() {}\n";
+        let (out, removed) = remove_directives(src, &[2]);
+        assert_eq!(out, "fn a() {}\nfn b() {}\n");
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0, 2);
+        assert!(removed[0].1.contains("allow(float-eq)"));
+    }
+
+    #[test]
+    fn trailing_directive_keeps_the_code() {
+        let src = "let x = 1; // pgmr-lint: allow(float-eq): stale\nnext();\n";
+        let (out, _) = remove_directives(src, &[1]);
+        assert_eq!(out, "let x = 1;\nnext();\n");
+    }
+
+    #[test]
+    fn untouched_lines_round_trip_byte_identical() {
+        let src = "fn a() {}\n// pgmr-lint: allow(float-eq): used elsewhere\nfn b() {}\n";
+        let (out, removed) = remove_directives(src, &[]);
+        assert_eq!(out, src);
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn a_line_without_a_directive_is_left_alone() {
+        let src = "fn a() {} // plain comment\n";
+        let (out, removed) = remove_directives(src, &[1]);
+        assert_eq!(out, src);
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn no_trailing_newline_is_preserved() {
+        let src = "fn a() {} // pgmr-lint: allow(float-eq): stale";
+        let (out, removed) = remove_directives(src, &[1]);
+        assert_eq!(out, "fn a() {}");
+        assert_eq!(removed.len(), 1);
+    }
+}

@@ -460,6 +460,53 @@ mod tests {
     }
 
     #[test]
+    fn multi_hash_raw_strings_ignore_inner_terminators() {
+        // A two-hash raw string may contain `"#` without terminating,
+        // and its body is hidden from the rules verbatim.
+        let src = r###"let a = r##"inner "# quote and x.unwrap()"##; after();"###;
+        let toks = kinds(src);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.clone()).collect();
+        assert_eq!(strs, vec![r##"inner "# quote and x.unwrap()"##]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "after"));
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        // Byte raw strings take the same path.
+        let toks = kinds(r####"let b = br##"bytes "# here"##;"####);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.clone()).collect();
+        assert_eq!(strs, vec![r##"bytes "# here"##]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let toks = kinds("fn r#match(r#fn: u32) { r#match(r#fn); }");
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t.clone()).collect();
+        assert_eq!(idents, vec!["fn", "match", "fn", "u32", "match", "fn"]);
+        // `r` followed by `#` then a quote is a raw string, not a raw
+        // ident — the disambiguation must not eat the literal.
+        let toks = kinds(r##"let s = r#"text"#;"##);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t == "text"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_track_depth_and_lines() {
+        let src = "a /* 1 /* 2 /* 3 */ 2 */ 1 */ b\nc";
+        let lexed = lex(src);
+        let idents: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        // Multi-line nested comments keep line accounting intact.
+        let lexed = lex("x /* outer\n /* inner\n */ still outer\n */ y");
+        let y = lexed.tokens.iter().find(|t| t.text == "y").expect("y survives");
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
     fn positions_are_one_based() {
         let lexed = lex("a\n  b");
         assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));

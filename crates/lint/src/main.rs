@@ -8,33 +8,51 @@
 //! - `--workspace` lint every `.rs` file from the workspace root
 //!   (default when no paths are given)
 //! - `--root <dir>`     override the root to walk
-//! - `--deny`           exit nonzero when any diagnostic remains
+//! - `--deny`           exit 1 when any diagnostic remains
 //! - `--json <path|->`  write the machine-readable report (`-` = stdout)
+//! - `--fix-allows`     remove unused `allow(…)` directives (dry run;
+//!   add `--write` to rewrite the files)
 //! - `<paths…>`         lint specific files or directories instead
 //!
-//! Diagnostics print to stdout as `file:line:col: rule: message`; the
-//! summary line goes last. Without `--deny` the exit code is 0 even with
-//! findings (report-only mode for local iteration).
+//! Diagnostics print to stdout as `file:line:col: rule: message` (with
+//! indented witness chains for the call-graph rules); the summary line
+//! goes last. Exit codes: 0 clean (or report-only findings without
+//! `--deny`), 1 diagnostics found under `--deny`, 2 parse/IO/usage
+//! failure — so CI can fail on breakage even in report-only mode.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pgmr_lint::{find_workspace_root, lint_workspace, LintReport};
+use pgmr_lint::{find_workspace_root, lint_sources, LintReport};
 
 struct Args {
     root: Option<PathBuf>,
     paths: Vec<PathBuf>,
     deny: bool,
     json: Option<String>,
+    fix_allows: bool,
+    write: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: None, paths: Vec::new(), deny: false, json: None };
+const USAGE: &str =
+    "usage: pgmr-lint [--workspace] [--root <dir>] [--deny] [--json <path|->] [--fix-allows [--write]] [paths…]";
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: None,
+        paths: Vec::new(),
+        deny: false,
+        json: None,
+        fix_allows: false,
+        write: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => {} // the default; accepted for explicitness
             "--deny" => args.deny = true,
+            "--fix-allows" => args.fix_allows = true,
+            "--write" => args.write = true,
             "--root" => {
                 let dir = it.next().ok_or("--root requires a directory argument")?;
                 args.root = Some(PathBuf::from(dir));
@@ -42,29 +60,31 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json = Some(it.next().ok_or("--json requires a path argument (or `-`)")?);
             }
-            "--help" | "-h" => {
-                return Err("usage: pgmr-lint [--workspace] [--root <dir>] [--deny] [--json <path|->] [paths…]"
-                    .to_string());
-            }
+            "--help" | "-h" => return Ok(None),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => args.paths.push(PathBuf::from(path)),
         }
     }
-    Ok(args)
+    if args.write && !args.fix_allows {
+        return Err("--write only makes sense with --fix-allows".to_string());
+    }
+    Ok(Some(args))
 }
 
-fn run() -> Result<(LintReport, bool), String> {
-    let args = parse_args()?;
+fn run(args: &Args) -> Result<(LintReport, PathBuf), String> {
+    let t0 = std::time::Instant::now(); // pgmr-lint: allow(wall-clock): CLI-level timing fed to the CI perf report; never on a deterministic-output path
     let cwd = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
-    let root = match args.root {
-        Some(root) => root,
+    let root = match &args.root {
+        Some(root) => root.clone(),
         None => find_workspace_root(&cwd)
             .ok_or("no workspace root found above the current directory (pass --root)")?,
     };
-    let report = if args.paths.is_empty() {
-        lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?
+    let mut report = if args.paths.is_empty() {
+        let sources = pgmr_lint::read_workspace_sources(&root)
+            .map_err(|e| format!("walking {}: {e}", root.display()))?;
+        lint_sources(&sources)
     } else {
-        let mut report = LintReport::default();
+        let mut sources: Vec<(String, String)> = Vec::new();
         for path in &args.paths {
             let full = if path.is_absolute() { path.clone() } else { cwd.join(path) };
             let files = if full.is_dir() {
@@ -77,14 +97,12 @@ fn run() -> Result<(LintReport, bool), String> {
                 let source = std::fs::read_to_string(&file)
                     .map_err(|e| format!("reading {}: {e}", file.display()))?;
                 let rel = file.strip_prefix(&root).unwrap_or(&file);
-                let rel = rel.to_string_lossy().replace('\\', "/");
-                report.diagnostics.extend(pgmr_lint::lint_source(&rel, &source));
-                report.files_scanned += 1;
+                sources.push((rel.to_string_lossy().replace('\\', "/"), source));
             }
         }
-        report.sort();
-        report
+        lint_sources(&sources)
     };
+    report.wall_ms = Some(t0.elapsed().as_millis() as u64);
     if let Some(json) = &args.json {
         let body = report.to_json();
         if json == "-" {
@@ -93,31 +111,72 @@ fn run() -> Result<(LintReport, bool), String> {
             std::fs::write(json, body).map_err(|e| format!("writing {json}: {e}"))?;
         }
     }
-    Ok((report, args.deny))
+    Ok((report, root))
+}
+
+fn fix_allows(args: &Args, report: &LintReport, root: &Path) -> Result<(), String> {
+    let fixes = pgmr_lint::fix::plan(root, report).map_err(|e| format!("planning fixes: {e}"))?;
+    if fixes.is_empty() {
+        println!("pgmr-lint: no unused allows to remove");
+        return Ok(());
+    }
+    for f in &fixes {
+        for (line, directive) in &f.removals {
+            let verb = if args.write { "removed" } else { "would remove" };
+            println!("pgmr-lint: {verb} {}:{line}: {directive}", f.relpath);
+        }
+    }
+    if args.write {
+        pgmr_lint::fix::write(root, &fixes).map_err(|e| format!("writing fixes: {e}"))?;
+    } else {
+        println!("pgmr-lint: dry run — pass --write to apply");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok((report, deny)) => {
-            for d in &report.diagnostics {
-                println!("{d}");
-            }
-            println!(
-                "pgmr-lint: {} diagnostic{} across {} file{}",
-                report.diagnostics.len(),
-                if report.diagnostics.len() == 1 { "" } else { "s" },
-                report.files_scanned,
-                if report.files_scanned == 1 { "" } else { "s" },
-            );
-            if deny && !report.diagnostics.is_empty() {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
-            }
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
         }
         Err(message) => {
-            eprintln!("pgmr-lint: {message}");
-            ExitCode::FAILURE
+            eprintln!("pgmr-lint: {message}\n{USAGE}");
+            return ExitCode::from(2);
         }
+    };
+    let (report, root) = match run(&args) {
+        Ok(ok) => ok,
+        Err(message) => {
+            eprintln!("pgmr-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.fix_allows {
+        return match fix_allows(&args, &report, &root) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("pgmr-lint: {message}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "pgmr-lint: {} diagnostic{} across {} file{} ({} fns, {} calls indexed)",
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 { "" } else { "s" },
+        report.files_scanned,
+        if report.files_scanned == 1 { "" } else { "s" },
+        report.indexed_fns,
+        report.indexed_calls,
+    );
+    if args.deny && !report.diagnostics.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

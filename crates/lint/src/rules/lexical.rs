@@ -1,157 +1,13 @@
-//! The rule engine: per-file context (path classification plus
-//! `#[cfg(test)]` region tracking) and the six workspace invariant rules.
-//!
-//! Every rule is lexical — it sees the token stream, not types — so each
-//! one trades a documented sliver of coverage for zero dependencies and
-//! sub-second whole-workspace runs. The limits are listed per rule; the
-//! suppression mechanism in [`crate::allow`] covers the intentional
-//! exceptions.
+//! The six lexical invariant rules. Every rule here sees one file's
+//! token stream, not types, so each trades a documented sliver of
+//! coverage for zero dependencies; the limits are listed per rule.
 
 use crate::diag::Diagnostic;
-use crate::lexer::{Lexed, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::FileContext;
 
-/// Rule ids suppressible via `pgmr-lint: allow(...)` directives, in
-/// reporting order. The meta rules (`unused-allow`, `invalid-allow`)
-/// are deliberately absent: suppressing the suppressor is a cycle.
-pub const RULE_IDS: &[&str] =
-    &["float-eq", "wall-clock", "stray-spawn", "panic-hygiene", "unordered-iter", "bare-atomic"];
-
-/// Everything a rule may look at for one file.
-pub struct FileContext<'a> {
-    /// Workspace-relative path, forward slashes.
-    pub relpath: &'a str,
-    /// The lexed file.
-    pub lexed: &'a Lexed,
-    /// Line ranges (inclusive) covered by `#[cfg(test)]` modules or
-    /// `#[test]` functions.
-    pub test_ranges: Vec<(usize, usize)>,
-    /// True when the whole file is test/bench/example scaffolding.
-    pub test_file: bool,
-    /// True for binary targets (`src/bin/`, `main.rs`, `build.rs`).
-    pub bin_file: bool,
-}
-
-impl<'a> FileContext<'a> {
-    /// Builds the context, classifying the path and locating test regions.
-    pub fn new(relpath: &'a str, lexed: &'a Lexed) -> Self {
-        let p = relpath;
-        let test_file = p.starts_with("tests/")
-            || p.contains("/tests/")
-            || p.starts_with("benches/")
-            || p.contains("/benches/")
-            || p.starts_with("examples/")
-            || p.contains("/examples/");
-        let bin_file = p.contains("/src/bin/")
-            || p.ends_with("/main.rs")
-            || p == "main.rs"
-            || p.ends_with("build.rs");
-        FileContext {
-            relpath,
-            lexed,
-            test_ranges: test_line_ranges(&lexed.tokens),
-            test_file,
-            bin_file,
-        }
-    }
-
-    /// True when `line` sits inside test code (a test file, a
-    /// `#[cfg(test)]` module, or a `#[test]` function).
-    pub fn in_test_code(&self, line: usize) -> bool {
-        self.test_file || self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
-    }
-
-    fn tok(&self, i: usize) -> Option<&Token> {
-        self.lexed.tokens.get(i)
-    }
-
-    fn is_punct(&self, i: usize, text: &str) -> bool {
-        self.tok(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
-    }
-
-    fn is_ident(&self, i: usize, text: &str) -> bool {
-        self.tok(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
-    }
-}
-
-/// Finds the (inclusive) line ranges of `#[cfg(test)]` / `#[test]`
-/// items: from the attribute, the next top-of-chain `{` opens the item
-/// body, and brace matching closes it. A `#[cfg(not(test))]` does not
-/// count, and an attribute followed by `;` (an out-of-line `mod`) has no
-/// body to range over.
-fn test_line_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        let is_attr_start = tokens[i].kind == TokenKind::Punct
-            && tokens[i].text == "#"
-            && tokens.get(i + 1).is_some_and(|t| t.text == "[");
-        if !is_attr_start {
-            i += 1;
-            continue;
-        }
-        // Collect the attribute's identifiers up to the matching `]`.
-        let mut j = i + 2;
-        let mut depth = 1usize;
-        let mut idents: Vec<&str> = Vec::new();
-        while j < tokens.len() && depth > 0 {
-            match (tokens[j].kind, tokens[j].text.as_str()) {
-                (TokenKind::Punct, "[") => depth += 1,
-                (TokenKind::Punct, "]") => depth -= 1,
-                (TokenKind::Ident, name) => idents.push(name),
-                _ => {}
-            }
-            j += 1;
-        }
-        let is_test_attr = (idents.first() == Some(&"cfg")
-            && idents.contains(&"test")
-            && !idents.contains(&"not"))
-            || idents.as_slice() == ["test"];
-        if !is_test_attr {
-            i = j;
-            continue;
-        }
-        // Walk to the item body's `{`, skipping further attributes and
-        // the signature (parens/brackets/generics carry no braces here).
-        let mut k = j;
-        let mut open = None;
-        while k < tokens.len() {
-            let t = &tokens[k];
-            if t.kind == TokenKind::Punct && t.text == "{" {
-                open = Some(k);
-                break;
-            }
-            if t.kind == TokenKind::Punct && t.text == ";" {
-                break;
-            }
-            k += 1;
-        }
-        let Some(open) = open else {
-            i = j;
-            continue;
-        };
-        let mut brace = 0usize;
-        let mut close = open;
-        for (idx, t) in tokens.iter().enumerate().skip(open) {
-            if t.kind == TokenKind::Punct {
-                if t.text == "{" {
-                    brace += 1;
-                } else if t.text == "}" {
-                    brace -= 1;
-                    if brace == 0 {
-                        close = idx;
-                        break;
-                    }
-                }
-            }
-        }
-        ranges.push((tokens[i].line, tokens[close].line));
-        i = close + 1;
-    }
-    ranges
-}
-
-/// Runs every rule over `ctx`, returning raw (pre-suppression) findings.
-pub fn run_all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+/// Runs every lexical rule over `ctx`, returning raw findings.
+pub fn run(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     float_eq(ctx, &mut out);
     wall_clock(ctx, &mut out);
@@ -163,7 +19,7 @@ pub fn run_all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
 }
 
 fn diag(ctx: &FileContext<'_>, t: &Token, rule: &'static str, message: String) -> Diagnostic {
-    Diagnostic { file: ctx.relpath.to_string(), line: t.line, column: t.col, rule, message }
+    Diagnostic::new(ctx.relpath.to_string(), t.line, t.col, rule, message)
 }
 
 /// `float-eq`: `==`/`!=` with a float-typed operand. Lexical scope: an
@@ -401,11 +257,12 @@ fn bare_atomic(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
 mod tests {
     use super::*;
     use crate::lexer::lex;
+    use crate::rules::test_line_ranges;
 
     fn rules_on(path: &str, src: &str) -> Vec<Diagnostic> {
         let lexed = lex(src);
         let ctx = FileContext::new(path, &lexed);
-        run_all(&ctx)
+        run(&ctx)
     }
 
     #[test]

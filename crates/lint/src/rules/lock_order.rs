@@ -1,0 +1,323 @@
+//! `lock-order`: inconsistent pairwise lock acquisition orderings
+//! across the three lock-holding subsystems (`crates/obs`,
+//! `pgmr_nn::pool`, `crates/serve`). Two functions that take the same
+//! two locks in opposite orders can deadlock under concurrency; one
+//! global order per lock pair is the invariant.
+//!
+//! Model (documented approximations, all erring toward reporting):
+//! - A lock's *identity* is the final receiver segment at the
+//!   acquisition site (`self.shared.stats.lock()` → `stats`); two
+//!   locks sharing a field name alias into one identity.
+//! - A `let`-bound guard is modeled as held from its acquisition to
+//!   the end of the function — early drops and block scopes are
+//!   invisible, erring toward reporting. A *statement-temporary*
+//!   acquisition (`self.results.lock().…;` with no `let`) dies at its
+//!   semicolon, so it never enters the held set — but it can still be
+//!   the second half of a pair recorded against guards already held.
+//! - Held sets propagate through the call graph: calling a function
+//!   whose transitive closure acquires lock `b` while holding `a`
+//!   records the pair `a → b`, with the call chain as witness.
+//!   Closure bodies count as if they ran at the call site (deferred
+//!   jobs are over-approximated as inline).
+//!
+//! Only acquisitions in the scoped subsystems count, and test code is
+//! skipped. A diagnostic anchors at the second acquisition of the
+//! lexicographically smaller ordering and names the conflicting site.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::index::{FnId, WorkspaceIndex};
+use crate::resolve::Resolver;
+
+pub const RULE: &str = "lock-order";
+
+/// Path prefixes of the lock-holding subsystems this rule polices.
+const SCOPE: &[&str] = &["crates/obs/", "crates/serve/", "crates/nn/src/pool.rs"];
+
+fn in_scope(relpath: &str) -> bool {
+    SCOPE.iter().any(|p| relpath.starts_with(p))
+}
+
+/// One recorded ordered acquisition `a` then `b`.
+struct Occurrence {
+    f: FnId,
+    a: String,
+    a_line: usize,
+    b_line: usize,
+    b_col: usize,
+    /// Call chain from the callee at the recording site to the
+    /// function that actually acquires `b`; empty for a direct
+    /// acquisition in `f`.
+    via: Vec<FnId>,
+}
+
+pub fn run(ix: &WorkspaceIndex, graph: &CallGraph, resolver: &Resolver, out: &mut Vec<Diagnostic>) {
+    let n = ix.fns.len();
+    let scoped: Vec<bool> = (0..n)
+        .map(|id| {
+            let f = &ix.fns[id];
+            !f.in_test && in_scope(&ix.files[f.file].relpath)
+        })
+        .collect();
+    // Direct acquisitions per function (scoped only), then the
+    // transitive closure over call edges.
+    let own: Vec<BTreeSet<String>> = (0..n)
+        .map(|id| {
+            if scoped[id] {
+                ix.fns[id].locks.iter().map(|l| l.name.clone()).collect()
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .collect();
+    let mut trans = own.clone();
+    loop {
+        let mut changed = false;
+        for f in 0..n {
+            for g in graph.edges[f].clone() {
+                if trans[g].is_empty() || f == g {
+                    continue;
+                }
+                let add: Vec<String> =
+                    trans[g].iter().filter(|t| !trans[f].contains(*t)).cloned().collect();
+                if !add.is_empty() {
+                    changed = true;
+                    trans[f].extend(add);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Record the first occurrence of every ordered pair.
+    let mut pairs: BTreeMap<(String, String), Occurrence> = BTreeMap::new();
+    for f in (0..n).filter(|&f| scoped[f]) {
+        let fun = &ix.fns[f];
+        // Body events in source order: acquisitions and calls.
+        enum Ev<'a> {
+            Lock(&'a crate::index::LockSite),
+            Call(&'a crate::index::CallSite),
+        }
+        let mut evs: Vec<(usize, usize, Ev<'_>)> = Vec::new();
+        evs.extend(fun.locks.iter().map(|l| (l.line, l.col, Ev::Lock(l))));
+        evs.extend(fun.calls.iter().map(|c| (c.line, c.col, Ev::Call(c))));
+        evs.sort_by_key(|&(line, col, _)| (line, col));
+        let mut held: Vec<&crate::index::LockSite> = Vec::new();
+        for (_, _, ev) in evs {
+            match ev {
+                Ev::Lock(l) => {
+                    for h in &held {
+                        if h.name != l.name {
+                            pairs.entry((h.name.clone(), l.name.clone())).or_insert(Occurrence {
+                                f,
+                                a: h.name.clone(),
+                                a_line: h.line,
+                                b_line: l.line,
+                                b_col: l.col,
+                                via: Vec::new(),
+                            });
+                        }
+                    }
+                    if l.let_bound {
+                        held.push(l);
+                    }
+                }
+                Ev::Call(c) => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    for callee in resolver.resolve(ix, f, c) {
+                        if callee == f {
+                            continue;
+                        }
+                        for t in &trans[callee] {
+                            for h in &held {
+                                if &h.name == t {
+                                    continue;
+                                }
+                                pairs.entry((h.name.clone(), t.clone())).or_insert_with(|| {
+                                    Occurrence {
+                                        f,
+                                        a: h.name.clone(),
+                                        a_line: h.line,
+                                        b_line: c.line,
+                                        b_col: c.col,
+                                        via: chain_to_lock(graph, &own, callee, t),
+                                    }
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Inversions: both (a, b) and (b, a) recorded.
+    for ((a, b), occ) in &pairs {
+        if a >= b {
+            continue;
+        }
+        let Some(other) = pairs.get(&(b.clone(), a.clone())) else { continue };
+        let file = ix.files[ix.fns[occ.f].file].relpath.clone();
+        let other_file = &ix.files[ix.fns[other.f].file].relpath;
+        let mut d = Diagnostic::new(
+            file,
+            occ.b_line,
+            occ.b_col,
+            RULE,
+            format!(
+                "inconsistent lock order: `{a}` → `{b}` here, but `{b}` → `{a}` in `{}` ({other_file}:{}) — pick one global order for this pair",
+                ix.qualified_name(other.f),
+                other.b_line,
+            ),
+        );
+        d.witness = vec![render_side(ix, occ, b), render_side(ix, other, a)];
+        out.push(d);
+    }
+}
+
+/// BFS from `start` to the nearest function that directly acquires
+/// `lock`, returning the chain `start → … → locker`.
+fn chain_to_lock(
+    graph: &CallGraph,
+    own: &[BTreeSet<String>],
+    start: FnId,
+    lock: &str,
+) -> Vec<FnId> {
+    let mut parent: Vec<Option<FnId>> = vec![None; graph.edges.len()];
+    let mut seen = vec![false; graph.edges.len()];
+    let mut queue = VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(f) = queue.pop_front() {
+        if own[f].contains(lock) {
+            let mut chain = vec![f];
+            let mut cur = f;
+            while let Some(p) = parent[cur] {
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            return chain;
+        }
+        for &g in &graph.edges[f] {
+            if !seen[g] {
+                seen[g] = true;
+                parent[g] = Some(f);
+                queue.push_back(g);
+            }
+        }
+    }
+    Vec::new()
+}
+
+fn render_side(ix: &WorkspaceIndex, occ: &Occurrence, second: &str) -> String {
+    if occ.via.is_empty() {
+        format!(
+            "{} acquires `{}` (line {}) then `{second}` (line {})",
+            ix.describe(occ.f),
+            occ.a,
+            occ.a_line,
+            occ.b_line
+        )
+    } else {
+        let chain: Vec<String> = occ.via.iter().map(|&f| ix.qualified_name(f)).collect();
+        format!(
+            "{} acquires `{}` (line {}) then reaches `{second}` via {} (call at line {})",
+            ix.describe(occ.f),
+            occ.a,
+            occ.a_line,
+            chain.join(" → "),
+            occ.b_line
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut ix = WorkspaceIndex::default();
+        for (path, src) in files {
+            ix.add_file(path, &lex(src), false, &[], &[]);
+        }
+        let resolver = Resolver::new(&ix);
+        let graph = CallGraph::build(&ix, &resolver);
+        let mut out = Vec::new();
+        run(&ix, &graph, &resolver, &mut out);
+        out
+    }
+
+    #[test]
+    fn intra_fn_inversion_fires_once() {
+        let diags = run_on(&[(
+            "crates/obs/src/registry.rs",
+            "impl R {\n\
+             fn ab(&self) { let a = self.alpha.lock().expect(\"a\"); \
+             let b = self.beta.lock().expect(\"b\"); }\n\
+             fn ba(&self) { let b = self.beta.lock().expect(\"b\"); \
+             let a = self.alpha.lock().expect(\"a\"); }\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE);
+        assert!(diags[0].message.contains("`alpha` → `beta`"));
+        assert_eq!(diags[0].witness.len(), 2);
+    }
+
+    #[test]
+    fn cross_fn_inversion_via_call_chain_carries_witness() {
+        let diags = run_on(&[(
+            "crates/serve/src/lib.rs",
+            "impl E {\n\
+             fn ab(&self) { let a = self.alpha.lock().expect(\"a\"); self.take_beta(); }\n\
+             fn take_beta(&self) { let b = self.beta.lock().expect(\"b\"); }\n\
+             fn ba(&self) { let b = self.beta.lock().expect(\"b\"); \
+             let a = self.alpha.lock().expect(\"a\"); }\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].witness[0].contains("take_beta"), "{:?}", diags[0].witness);
+    }
+
+    #[test]
+    fn statement_temporary_guard_does_not_enter_held_set() {
+        // The worker thread writes through a temporary guard
+        // (`results.lock()…;` — no `let`, guard dies at the `;`), then
+        // let-binds `remaining`. The main path let-binds `remaining`
+        // then temporarily takes `results`. Neither side ever *holds*
+        // one while acquiring the other in the inverted order, so no
+        // inversion exists.
+        let diags = run_on(&[(
+            "crates/nn/src/pool.rs",
+            "impl W {\n\
+             fn worker(&self) { self.results.lock().expect(\"r\").push(1); \
+             let mut left = self.remaining.lock().expect(\"n\"); *left -= 1; }\n\
+             fn main(&self) { let left = self.remaining.lock().expect(\"n\"); drop(left); \
+             self.results.lock().expect(\"r\").clear(); }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_out_of_scope_paths_are_ignored() {
+        let consistent = "impl R {\n\
+             fn one(&self) { let a = self.alpha.lock().expect(\"a\"); \
+             let b = self.beta.lock().expect(\"b\"); }\n\
+             fn two(&self) { let a = self.alpha.lock().expect(\"a\"); \
+             let b = self.beta.lock().expect(\"b\"); }\n}\n";
+        assert!(run_on(&[("crates/obs/src/registry.rs", consistent)]).is_empty());
+        let inverted = "impl R {\n\
+             fn ab(&self) { let a = self.alpha.lock().expect(\"a\"); \
+             let b = self.beta.lock().expect(\"b\"); }\n\
+             fn ba(&self) { let b = self.beta.lock().expect(\"b\"); \
+             let a = self.alpha.lock().expect(\"a\"); }\n}\n";
+        assert!(
+            run_on(&[("crates/core/src/system.rs", inverted)]).is_empty(),
+            "core is outside the lock-order scope"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! `nested-pool-run`: the PR 8 deadlock class — dispatching onto a
+//! `WorkerPool` from code that itself runs inside a pool job closure.
+//! With one global pool, a job that blocks on `pool.run(…)` waits for
+//! workers that may all be waiting on *it*.
+//!
+//! Detection is call-graph based: for every function that dispatches
+//! jobs (`pool.run(…)`, `pool::global().run(…)`, `WorkerPool::run`),
+//! the calls made *inside its closure literals* are taken as the code
+//! its jobs execute; if any pool dispatch is reachable from there, the
+//! inner dispatch site is flagged with the witness chain from the
+//! origin. A dispatch lexically inside a closure of a dispatching
+//! function is flagged directly.
+//!
+//! Documented approximation: closure literals in a dispatching function
+//! are treated as job bodies even when they are iterator adapters that
+//! run inline on the caller (`.map(|img| self.infer(img))`). Those
+//! sites are exactly where a reader must decide the same question, so
+//! they carry reasoned `allow(nested-pool-run)` annotations instead of
+//! being silently skipped. Serve's dedicated-pool design (jobs on
+//! `BatchEngine`'s own pool never dispatch again) keeps the real
+//! serving path clean. Test code is skipped on both ends.
+
+use crate::callgraph::{boundary_stop, CallGraph, Reach};
+use crate::diag::Diagnostic;
+use crate::index::{FnId, WorkspaceIndex};
+use crate::resolve::Resolver;
+
+pub const RULE: &str = "nested-pool-run";
+
+fn boundaried(ix: &WorkspaceIndex, id: FnId) -> bool {
+    ix.fns[id].boundaries.iter().any(|b| b == RULE)
+}
+
+pub fn run(ix: &WorkspaceIndex, graph: &CallGraph, resolver: &Resolver, out: &mut Vec<Diagnostic>) {
+    for origin in 0..ix.fns.len() {
+        let f = &ix.fns[origin];
+        if f.in_test || f.pool_runs.is_empty() || boundaried(ix, origin) {
+            continue;
+        }
+        // Direct: a dispatch lexically inside one of this function's
+        // closures is itself a job body dispatching again.
+        for pr in f.pool_runs.iter().filter(|pr| pr.in_closure) {
+            let mut d = Diagnostic::new(
+                ix.files[f.file].relpath.clone(),
+                pr.line,
+                pr.col,
+                RULE,
+                format!(
+                    "`{}.run(…)` inside a job closure of `{}` — a pool dispatch from within a pool job deadlocks when the pools are the same; route through the caller or a dedicated pool",
+                    pr.receiver,
+                    ix.qualified_name(origin)
+                ),
+            );
+            d.witness = vec![ix.describe(origin)];
+            out.push(d);
+        }
+        // Indirect: what the job closures call, transitively.
+        let mut starts: Vec<FnId> = Vec::new();
+        for call in f.calls.iter().filter(|c| c.in_closure) {
+            starts.extend(resolver.resolve(ix, origin, call));
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        if starts.is_empty() {
+            continue;
+        }
+        let reach = Reach::compute(graph, &starts, boundary_stop(ix, RULE));
+        for inner in 0..ix.fns.len() {
+            let g = &ix.fns[inner];
+            if !reach.seen[inner] || g.in_test || g.pool_runs.is_empty() || boundaried(ix, inner) {
+                continue;
+            }
+            for pr in &g.pool_runs {
+                let mut d = Diagnostic::new(
+                    ix.files[g.file].relpath.clone(),
+                    pr.line,
+                    pr.col,
+                    RULE,
+                    format!(
+                        "`{}.run(…)` reachable from a job closure of `{}` — a pool dispatch from within a pool job deadlocks when the pools are the same; route through the caller or a dedicated pool",
+                        pr.receiver,
+                        ix.qualified_name(origin)
+                    ),
+                );
+                d.witness = {
+                    let mut w = vec![ix.describe(origin)];
+                    w.extend(reach.witness(ix, inner));
+                    w
+                };
+                out.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut ix = WorkspaceIndex::default();
+        for (path, src) in files {
+            ix.add_file(path, &lex(src), false, &[], &[]);
+        }
+        let resolver = Resolver::new(&ix);
+        let graph = CallGraph::build(&ix, &resolver);
+        let mut out = Vec::new();
+        run(&ix, &graph, &resolver, &mut out);
+        out
+    }
+
+    #[test]
+    fn indirect_nested_dispatch_fires_with_full_witness() {
+        let diags = run_on(&[(
+            "crates/a/src/lib.rs",
+            "fn outer(pool: &WorkerPool) { let jobs = xs.iter().map(|x| helper(x)); \
+             pool.run(jobs); }\n\
+             fn helper(x: u32) { nested(x) }\n\
+             fn nested(x: u32) { crate::pool::global().run(jobs()) }\n\
+             fn jobs() -> Vec<fn()> { unimplemented!() }\n",
+        )]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE);
+        assert_eq!(diags[0].line, 3);
+        // origin, then start → … → inner dispatcher.
+        assert_eq!(diags[0].witness.len(), 3, "{:?}", diags[0].witness);
+        assert!(diags[0].witness[0].starts_with("pgmr_a::outer"));
+        assert!(diags[0].witness[2].starts_with("pgmr_a::nested"));
+    }
+
+    #[test]
+    fn direct_dispatch_inside_closure_fires() {
+        let diags = run_on(&[(
+            "crates/a/src/lib.rs",
+            "fn f(pool: &WorkerPool) { pool.run(vec![Box::new(move || { \
+             pool.run(Vec::new()); })]); }\n",
+        )]);
+        assert!(diags.iter().any(|d| d.rule == RULE), "{diags:?}");
+    }
+
+    #[test]
+    fn dispatch_only_in_straight_line_code_is_clean() {
+        let diags = run_on(&[(
+            "crates/a/src/lib.rs",
+            "fn f(pool: &WorkerPool) { let jobs = xs.iter().map(|x| leaf(x)); pool.run(jobs); }\n\
+             fn leaf(x: u32) {}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "fn f(pool: &WorkerPool) { pool.run(xs.iter().map(|x| g(x))); }\n\
+                   fn g(x: u32) { pool().run(jobs()) }\n";
+        let mut ix = WorkspaceIndex::default();
+        // Whole file marked as a test file.
+        ix.add_file("crates/a/tests/t.rs", &lex(src), true, &[], &[]);
+        let resolver = Resolver::new(&ix);
+        let graph = CallGraph::build(&ix, &resolver);
+        let mut out = Vec::new();
+        run(&ix, &graph, &resolver, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,82 @@
+//! `--fix-allows` integration: planning against a real lint report
+//! removes exactly the unused directives, clean fixtures round-trip
+//! byte-identically, and the fixed source re-lints clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pgmr_lint::fix::remove_directives;
+use pgmr_lint::{fix, lint_source, lint_sources};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+#[test]
+fn every_fixture_round_trips_byte_identical_when_nothing_is_removed() {
+    for entry in fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let src = fs::read_to_string(&path).expect("fixture readable");
+        let (out, removed) = remove_directives(&src, &[]);
+        assert_eq!(out, src, "{} must round-trip byte-identical", path.display());
+        assert!(removed.is_empty());
+    }
+}
+
+#[test]
+fn unused_allows_are_removed_and_the_result_relints_clean() {
+    let src = "\
+pub fn f(x: f32) -> bool {
+    // pgmr-lint: allow(float-eq): exact sentinel
+    x == 1.0
+}
+// pgmr-lint: allow(wall-clock): stale — nothing below uses a clock
+pub fn g() {}
+pub fn h() {} // pgmr-lint: allow(hot-path-alloc): stale trailing directive
+";
+    let relpath = "crates/virt/src/fixme.rs";
+    let diags = lint_source(relpath, src);
+    let unused: Vec<usize> =
+        diags.iter().filter(|d| d.rule == "unused-allow").map(|d| d.line).collect();
+    assert_eq!(unused.len(), 2, "{diags:?}");
+
+    let (fixed, removed) = remove_directives(src, &unused);
+    assert_eq!(removed.len(), 2);
+    assert!(fixed.contains("allow(float-eq)"), "the used allow must survive");
+    assert!(!fixed.contains("allow(wall-clock)"));
+    assert!(!fixed.contains("allow(hot-path-alloc)"));
+    assert!(fixed.contains("pub fn h() {}\n"), "trailing directive removal keeps the code");
+    assert!(
+        lint_source(relpath, &fixed).is_empty(),
+        "after fixing, the file must lint clean: {:?}",
+        lint_source(relpath, &fixed)
+    );
+}
+
+#[test]
+fn plan_groups_removals_per_file_and_write_applies_them() {
+    let dir = std::env::temp_dir().join(format!("pgmr-lint-fix-{}", std::process::id()));
+    let file_dir = dir.join("crates/virt/src");
+    fs::create_dir_all(&file_dir).expect("temp tree");
+    let src = "// pgmr-lint: allow(float-eq): stale\npub fn f() {}\n";
+    fs::write(file_dir.join("stale.rs"), src).expect("write fixture");
+
+    let relpath = "crates/virt/src/stale.rs".to_string();
+    let report = lint_sources(&[(relpath.clone(), src.to_string())]);
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_eq!(report.diagnostics[0].rule, "unused-allow");
+
+    let fixes = fix::plan(&dir, &report).expect("plan");
+    assert_eq!(fixes.len(), 1);
+    assert_eq!(fixes[0].relpath, relpath);
+    assert_eq!(fixes[0].removals.len(), 1);
+    assert_eq!(fixes[0].new_content, "pub fn f() {}\n");
+
+    fix::write(&dir, &fixes).expect("write");
+    let rewritten = fs::read_to_string(file_dir.join("stale.rs")).expect("read back");
+    assert_eq!(rewritten, "pub fn f() {}\n");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,17 @@
+//! Fixture: two functions taking the same lock pair in opposite orders
+//! fire `lock-order` (linted under a `crates/obs/` virtual path — the
+//! rule only polices the lock-holding subsystems).
+
+impl Registry {
+    fn alpha_then_beta(&self) {
+        let a = self.alpha.lock().expect("alpha poisoned");
+        let b = self.beta.lock().expect("beta poisoned");
+        drop((a, b));
+    }
+
+    fn beta_then_alpha(&self) {
+        let b = self.beta.lock().expect("beta poisoned");
+        let a = self.alpha.lock().expect("alpha poisoned");
+        drop((a, b));
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: a pool dispatch reachable from inside a pool job closure
+//! fires `nested-pool-run` with the origin and the chain to the inner
+//! dispatcher.
+
+pub fn outer(pool: &WorkerPool) {
+    let jobs = sources().iter().map(|x| helper(x));
+    pool.run(jobs);
+}
+
+fn helper(x: u32) {
+    nested(x);
+}
+
+fn nested(x: u32) {
+    crate::pool::global().run(jobs_for(x));
+}

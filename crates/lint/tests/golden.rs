@@ -26,6 +26,10 @@ const CASES: &[(&str, &str)] = &[
     ("bare_atomic.rs", "crates/virt/src/bare_atomic.rs"),
     ("suppressed.rs", "crates/virt/src/suppressed.rs"),
     ("unused_allow.rs", "crates/virt/src/unused_allow.rs"),
+    ("hot_path_alloc.rs", "crates/virt/src/hot_path_alloc.rs"),
+    ("nested_pool_run.rs", "crates/virt/src/nested_pool_run.rs"),
+    ("lock_order.rs", "crates/obs/src/lock_order.rs"),
+    ("semantic_suppressed.rs", "crates/obs/src/semantic_suppressed.rs"),
 ];
 
 fn fixtures_dir() -> PathBuf {
@@ -34,7 +38,11 @@ fn fixtures_dir() -> PathBuf {
 
 fn rendered(fixture: &str, virtual_path: &str) -> String {
     let src = fs::read_to_string(fixtures_dir().join(fixture)).expect("fixture readable");
-    let mut report = LintReport { diagnostics: lint_source(virtual_path, &src), files_scanned: 1 };
+    let mut report = LintReport {
+        diagnostics: lint_source(virtual_path, &src),
+        files_scanned: 1,
+        ..Default::default()
+    };
     report.sort();
     let mut out: String = report.diagnostics.iter().map(|d| d.to_string() + "\n").collect();
     if out.is_empty() {
@@ -83,11 +91,16 @@ fn every_rule_both_fires_and_suppresses() {
     for meta in ["unused-allow", "invalid-allow"] {
         assert!(fired.contains(&meta), "meta rule {meta} never fires in the fixtures");
     }
-    let src = fs::read_to_string(fixtures_dir().join("suppressed.rs")).expect("fixture readable");
-    assert!(
-        lint_source("crates/virt/src/suppressed.rs", &src).is_empty(),
-        "suppressed.rs must lint clean — every allow consumed, every reason present"
-    );
+    for (fixture, virtual_path) in [
+        ("suppressed.rs", "crates/virt/src/suppressed.rs"),
+        ("semantic_suppressed.rs", "crates/obs/src/semantic_suppressed.rs"),
+    ] {
+        let src = fs::read_to_string(fixtures_dir().join(fixture)).expect("fixture readable");
+        assert!(
+            lint_source(virtual_path, &src).is_empty(),
+            "{fixture} must lint clean — every allow consumed, every reason present"
+        );
+    }
 }
 
 #[test]
@@ -124,10 +137,11 @@ fn json_report_round_trips_fixture_diagnostics() {
     let mut report = LintReport {
         diagnostics: lint_source("crates/virt/src/float_eq.rs", &src),
         files_scanned: 1,
+        ..Default::default()
     };
     report.sort();
     let json = report.to_json();
-    assert!(json.starts_with("{\"version\":1,\"files_scanned\":1,\"diagnostics\":["));
+    assert!(json.starts_with("{\"version\":2,\"files_scanned\":1,"));
     assert!(json.contains("\"rule\":\"float-eq\""));
     assert!(json.contains("\"file\":\"crates/virt/src/float_eq.rs\""));
     // Every diagnostic surfaced in JSON exactly once.

@@ -1,0 +1,65 @@
+//! Pins the semantic analysis against the real workspace: the
+//! hot-path reachable set must be non-trivial and must cover the
+//! `forward_into` implementation of every layer. A resolver or indexer
+//! regression that silently empties the call graph would otherwise
+//! leave `hot-path-alloc` vacuously green.
+
+use std::path::Path;
+
+use pgmr_lint::callgraph::{CallGraph, Reach};
+use pgmr_lint::resolve::Resolver;
+use pgmr_lint::rules::hot_path;
+use pgmr_lint::{find_workspace_root, index_workspace};
+
+/// Every `impl Layer for …` type in `crates/nn/src/layers/`. Grep for
+/// `impl Layer for` and update this list when a layer is added.
+const LAYER_IMPLS: &[&str] = &[
+    "AvgPoolGlobal",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dense",
+    "DenseBlock",
+    "Dropout",
+    "Flatten",
+    "MaxPool2d",
+    "Parallel",
+    "Relu",
+    "Residual",
+];
+
+#[test]
+fn hot_path_reachable_set_covers_every_layer_forward_into() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let ix = index_workspace(&root).expect("workspace indexes");
+    let resolver = Resolver::new(&ix);
+    let graph = CallGraph::build(&ix, &resolver);
+
+    let roots = hot_path::roots(&ix);
+    assert!(
+        roots.len() >= LAYER_IMPLS.len(),
+        "expected at least one zero-alloc root per layer impl, got {}",
+        roots.len()
+    );
+    let reach = Reach::compute(&graph, &roots, |_| false);
+    let reached = (0..ix.fns.len()).filter(|&f| reach.seen[f]).count();
+    assert!(reached >= 50, "suspiciously small hot-path reachable set ({reached} fns)");
+
+    for layer in LAYER_IMPLS {
+        let covered = (0..ix.fns.len()).any(|f| {
+            let fun = &ix.fns[f];
+            reach.seen[f] && fun.name == "forward_into" && fun.self_type.as_deref() == Some(*layer)
+        });
+        assert!(covered, "{layer}::forward_into is not in the hot-path reachable set");
+    }
+}
+
+#[test]
+fn workspace_index_is_populated() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let ix = index_workspace(&root).expect("workspace indexes");
+    assert!(ix.files.len() > 100, "only {} files indexed", ix.files.len());
+    assert!(ix.fns.len() > 1000, "only {} fns indexed", ix.fns.len());
+    assert!(ix.total_calls() > 5000, "only {} calls indexed", ix.total_calls());
+}

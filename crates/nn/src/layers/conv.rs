@@ -82,6 +82,7 @@ impl Conv2d {
         let patch = self.geom.patch_len();
         self.cols_cache.clear();
         let mut out = ws.acquire(&[n, self.out_c, self.geom.out_h, self.geom.out_w]);
+        // pgmr-lint: allow(hot-path-alloc): the unchecked arm builds a capacity-0 Vec — no heap allocation; the checked arm is the ABFT tier
         let mut segments = if checked { Vec::with_capacity(n) } else { Vec::new() };
         {
             let (cols, gemm_scratch) = ws.scratch_with_gemm(patch * spatial);

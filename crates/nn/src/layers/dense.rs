@@ -77,6 +77,7 @@ impl Dense {
                 self.weight.value.data(),
             );
             sums.add_broadcast_row(self.bias.value.data());
+            // pgmr-lint: allow(hot-path-alloc): inside the `checked.then` ABFT arm — runs only for guarded passes, never on the unguarded serving path
             OutputChecksum::new(vec![(0, sums)])
         });
         self.input_cache = None;

@@ -37,6 +37,7 @@ impl Layer for Flatten {
                 d.clear();
                 d.extend_from_slice(input.dims());
             }
+            // pgmr-lint: allow(hot-path-alloc): one-time slot initialization on the first image; every later pass reuses the Vec via clear+extend
             None => self.input_dims = Some(input.dims().to_vec()),
         }
         input.set_dims(&[n, rest]);

@@ -12,6 +12,7 @@ fn record_shape(slot: &mut Option<Vec<usize>>, dims: [usize; 4]) {
             s.clear();
             s.extend_from_slice(&dims);
         }
+        // pgmr-lint: allow(hot-path-alloc): one-time slot initialization on the first image; every later pass reuses the Vec via clear+extend
         None => *slot = Some(dims.to_vec()),
     }
 }

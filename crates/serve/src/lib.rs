@@ -431,6 +431,7 @@ impl BatchEngine {
                 Ok(Envelope::Request(r)) => r,
                 Ok(Envelope::Shutdown) | Err(_) => break,
             };
+            // pgmr-lint: allow(hot-path-alloc): per-batch admission buffer on the engine thread — one allocation per batch window, not per image
             let mut batch = vec![first];
             let mut stop = false;
             let window_closes = Instant::now() + self.max_delay;
@@ -491,10 +492,14 @@ impl BatchEngine {
                                 });
                             (out, Instant::now())
                         })
+                        // pgmr-lint: allow(hot-path-alloc): per-shard outcome marshalling — one Vec per shard per batch, not per image
                         .collect::<Vec<_>>()
                 }
             })
+            // pgmr-lint: allow(hot-path-alloc): per-batch job list, bounded by replica count
             .collect();
+        // pgmr-lint: allow(nested-pool-run): false cross-crate edge — polygraph-mr does not depend on pgmr-serve, so no core job closure can reach this dedicated-pool dispatch
+        // pgmr-lint: allow(hot-path-alloc): per-batch outcome concatenation, bounded by batch size
         let outcomes: Vec<_> = self.pool.run(jobs).into_iter().flatten().collect();
 
         let mut stats = self.shared.stats.lock().expect(POISONED);

@@ -102,6 +102,7 @@ impl GemmChecksums {
     /// # Panics
     ///
     /// Panics if a slice length disagrees with its stated dimensions.
+    // pgmr-lint: boundary(hot-path-alloc): checksum derivation allocates its O(m+n+k) sum vectors once per *guarded* layer invocation — the ABFT tier trades that for fault coverage, and the unguarded serving path never enters it
     pub fn for_ab(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Self {
         assert_eq!(a.len(), m * k, "a must be {m}x{k}");
         assert_eq!(b.len(), k * n, "b must be {k}x{n}");
@@ -154,6 +155,7 @@ impl GemmChecksums {
     /// # Panics
     ///
     /// Panics if a slice length disagrees with its stated dimensions.
+    // pgmr-lint: boundary(hot-path-alloc): checksum derivation allocates its O(m+n+k) sum vectors once per *guarded* layer invocation — the ABFT tier trades that for fault coverage, and the unguarded serving path never enters it
     pub fn for_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Self {
         assert_eq!(a.len(), m * k, "a must be {m}x{k}");
         assert_eq!(b.len(), n * k, "b must be {n}x{k}");

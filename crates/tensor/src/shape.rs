@@ -88,11 +88,12 @@ impl Shape {
             index.len(),
             self.dims.len()
         );
+        // Horner form over the row-major dims — no strides vector, so
+        // per-element `Tensor::get`/`set` stay allocation-free.
         let mut flat = 0;
-        let strides = self.strides();
         for (i, (&ix, &dim)) in index.iter().zip(&self.dims).enumerate() {
             assert!(ix < dim, "index {ix} out of bounds for dim {i} (extent {dim})");
-            flat += ix * strides[i];
+            flat = flat * dim + ix;
         }
         flat
     }
