@@ -29,7 +29,7 @@ fn weight_grad_check() {
     let (_, grad) = softmax_cross_entropy(&logits, &labels);
     net.backward(&grad);
     let mut grads: Vec<Tensor> = Vec::new();
-    net.visit_slots(&mut |s| grads.push(s.grad.clone()));
+    net.visit_slots(&mut |s| grads.push(s.grad.snapshot()));
     let state = net.state_dict();
 
     let eps = 1e-3;

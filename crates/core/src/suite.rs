@@ -14,7 +14,7 @@
 use crate::ensemble::Member;
 use pgmr_datasets::{families, Dataset, DatasetConfig, Split};
 use pgmr_faults::{ProfileConfig, VulnerabilityProfile};
-use pgmr_nn::serialize::{decode_params, encode_params};
+use pgmr_nn::serialize::encode_params;
 use pgmr_nn::zoo::ArchSpec;
 use pgmr_nn::TrainConfig;
 use pgmr_preprocess::Preprocessor;
@@ -388,20 +388,40 @@ impl Benchmark {
         )
     }
 
-    /// Trains (or loads from the disk cache) a member with the given
-    /// preprocessor and weight seed.
+    /// Trains (or loads from the shared model store / disk cache) a member
+    /// with the given preprocessor and weight seed.
     ///
     /// The cache key ([`Benchmark::member_key`]) covers everything that
-    /// affects the weights. Set `PGMR_NO_CACHE=1` to force retraining.
+    /// affects the weights. Cached weights are served through the
+    /// process-wide [`pgmr_nn::model_store`]: the blob is read from disk
+    /// and digest-verified once, decoded into a shared read-only arena,
+    /// and every further tenant of the same blob (additional ensemble
+    /// members, serve replicas, repeat builds) attaches borrowed views —
+    /// no re-read, no re-verify, no weight copy. Per-tenant state
+    /// (quarantine, monitors, protection plans, batch-norm buffers) stays
+    /// private to each member. Set `PGMR_NO_CACHE=1` to force retraining
+    /// (which also bypasses the store).
     pub fn member(&self, preprocessor: Preprocessor, seed: u64) -> Member {
         let key = self.member_key(preprocessor, seed);
         let cache_enabled = std::env::var("PGMR_NO_CACHE").is_err();
         let path = cache_path(&key);
+        // The store is keyed by the full cache path, so a redirected cache
+        // dir (tests, parallel harnesses) never aliases another tenant's
+        // blob even when member keys collide.
+        let store_key = path.to_string_lossy().into_owned();
         if cache_enabled {
-            if let Ok(blob) = std::fs::read(&path) {
+            if let Some(stored) = pgmr_nn::model_store().get(&store_key) {
                 let mut net = pgmr_nn::zoo::build(&self.arch, seed);
-                if decode_params(&mut net, &blob).is_ok() {
+                if stored.attach(&mut net).is_ok() {
                     return Member::new(preprocessor, net);
+                }
+            }
+            if let Ok(blob) = std::fs::read(&path) {
+                if let Ok(stored) = pgmr_nn::model_store().insert(&store_key, &blob) {
+                    let mut net = pgmr_nn::zoo::build(&self.arch, seed);
+                    if stored.attach(&mut net).is_ok() {
+                        return Member::new(preprocessor, net);
+                    }
                 }
             }
         }
@@ -413,7 +433,10 @@ impl Benchmark {
             if let Some(dir) = path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
-            let _ = std::fs::write(&path, blob);
+            let _ = std::fs::write(&path, &blob);
+            // Seed the store so co-tenants of this fresh blob share its
+            // arena without going back to disk.
+            let _ = pgmr_nn::model_store().insert(&store_key, &blob);
         }
         member
     }
@@ -636,6 +659,82 @@ mod tests {
             assert_eq!(first.predict(img), second.predict(img));
         }
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn members_share_one_store_arena() {
+        let _guard = CACHE_OVERRIDE_LOCK.lock().unwrap();
+        let b = Benchmark::lenet5_digits(Scale::Tiny);
+        let dir = std::env::temp_dir().join(format!("pgmr-share-cache-{}", std::process::id()));
+        set_cache_dir(Some(dir.clone()));
+        let _ = std::fs::remove_dir_all(&dir);
+        pgmr_nn::model_store().clear();
+        let mut first = b.member(Preprocessor::Identity, 3); // trains, seeds store
+        let mut second = b.member(Preprocessor::Identity, 3); // attaches to arena
+        let mut third = b.member(Preprocessor::FlipX, 3); // same weights, own preprocessor state
+
+        // All three tenants resolve to the same resident blob (keyed by
+        // the cache path), and the attached members borrow rather than
+        // own. Global blob/tenant totals are not asserted — other tests
+        // in this process use the store concurrently.
+        let store_key =
+            cache_path(&b.member_key(Preprocessor::Identity, 3)).to_string_lossy().into_owned();
+        set_cache_dir(None);
+        let one = pgmr_nn::model_store().get(&store_key).expect("blob resident after training");
+        let two = pgmr_nn::model_store().get(&store_key).expect("blob stays resident");
+        assert!(std::sync::Arc::ptr_eq(&one, &two), "tenants must share one arena");
+        let mut shared = 0;
+        second.network_mut().visit_slots(&mut |s| shared += usize::from(s.value.is_shared()));
+        assert!(shared > 0, "cache-served member must borrow from the arena");
+
+        let test = b.data(Split::Test).truncated(20);
+        for img in test.images() {
+            assert_eq!(first.predict(img), second.predict(img), "arena tenant diverged");
+        }
+        // The FlipX tenant shares weights but sees flipped inputs.
+        assert_ne!(first.predict(&test.images()[0]), third.predict(&test.images()[0]));
+        pgmr_nn::model_store().clear();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_blob_self_heals() {
+        let _guard = CACHE_OVERRIDE_LOCK.lock().unwrap();
+        let b = Benchmark::lenet5_digits(Scale::Tiny);
+        let dir = std::env::temp_dir().join(format!("pgmr-heal-cache-{}", std::process::id()));
+        set_cache_dir(Some(dir.clone()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut first = b.member(Preprocessor::Identity, 9);
+
+        // Flip one bit of the cached blob, then simulate a cold process so
+        // the next load must go back to the (corrupt) disk copy.
+        let blob_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "pgmr"))
+            .expect("cached weight blob");
+        let mut blob = std::fs::read(&blob_path).unwrap();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x20;
+        std::fs::write(&blob_path, &blob).unwrap();
+        pgmr_nn::model_store().clear();
+
+        // The corrupt blob fails digest verification, the member retrains
+        // (deterministically — same seed and data), and the rewritten blob
+        // is valid again for the next tenant.
+        let mut healed = b.member(Preprocessor::Identity, 9);
+        let repaired = std::fs::read(&blob_path).unwrap();
+        assert_ne!(repaired, blob, "retraining must rewrite the corrupt blob");
+        let mut reloaded = b.member(Preprocessor::Identity, 9);
+        set_cache_dir(None);
+        let test = b.data(Split::Test).truncated(20);
+        for img in test.images() {
+            assert_eq!(first.predict(img), healed.predict(img), "self-heal changed the member");
+            assert_eq!(first.predict(img), reloaded.predict(img), "rewritten blob diverged");
+        }
+        pgmr_nn::model_store().clear();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use pgmr_nn::ProtectionLevel;
 use pgmr_tensor::argmax;
 use pgmr_tensor::checksum::{ChecksumFault, DEFAULT_TOLERANCE};
 use pgmr_tensor::Tensor;
+use std::sync::Arc;
 
 /// Pre-rendered per-member timer names (`infer.forward_ns.m{i}`), so
 /// the per-image metrics lookup never formats a string. Snapshot tests
@@ -128,7 +129,7 @@ pub enum FaultEvent {
 pub struct PolygraphSystem {
     ensemble: Ensemble,
     thresholds: Thresholds,
-    staged: Option<StagedEngine>,
+    staged: Option<Arc<StagedEngine>>,
     fault_policy: Option<FaultPolicy>,
     protection_level: Option<ProtectionLevel>,
     /// Per-member activity flags; quarantine clears a flag.
@@ -167,7 +168,7 @@ impl PolygraphSystem {
     pub fn set_thresholds(&mut self, thresholds: Thresholds) {
         self.thresholds = thresholds;
         if let Some(staged) = &self.staged {
-            self.staged = Some(StagedEngine::new(staged.priority().to_vec(), thresholds));
+            self.staged = Some(Arc::new(StagedEngine::new(staged.priority().to_vec(), thresholds)));
         }
     }
 
@@ -188,7 +189,7 @@ impl PolygraphSystem {
     /// Panics if the priority is invalid for this ensemble.
     pub fn enable_staged(&mut self, priority: Vec<usize>) {
         assert_eq!(priority.len(), self.ensemble.len(), "priority must cover every member");
-        self.staged = Some(StagedEngine::new(priority, self.thresholds));
+        self.staged = Some(Arc::new(StagedEngine::new(priority, self.thresholds)));
     }
 
     /// Disables RADE; `infer` activates every member again.
@@ -205,7 +206,14 @@ impl PolygraphSystem {
     /// front-end reads it to replicate the system's decision policy onto
     /// its per-worker member replicas.
     pub fn staged_engine(&self) -> Option<&StagedEngine> {
-        self.staged.as_ref()
+        self.staged.as_deref()
+    }
+
+    /// The staged engine behind its shared handle — serving front-ends
+    /// clone the `Arc` instead of deep-copying the probe/threshold state
+    /// per handle.
+    pub fn staged_engine_shared(&self) -> Option<Arc<StagedEngine>> {
+        self.staged.clone()
     }
 
     /// Enables (or disables) ABFT-guarded fault-tolerant inference. While
@@ -486,7 +494,7 @@ impl PolygraphSystem {
         }
         Self::decide_unguarded(
             self.ensemble.members_mut(),
-            self.staged.as_ref(),
+            self.staged.as_deref(),
             self.thresholds,
             image,
         )
@@ -538,7 +546,7 @@ impl PolygraphSystem {
                     images[range]
                         .iter()
                         .map(|img| {
-                            Self::decide_unguarded(&mut members, staged.as_ref(), thresholds, img)
+                            Self::decide_unguarded(&mut members, staged.as_deref(), thresholds, img)
                         })
                         .collect::<Vec<_>>()
                 }

@@ -289,8 +289,8 @@ mod tests {
             let x = Tensor::normal(vec![4, 3, 2, 2], 1.0, 0.5, &mut rng);
             let _ = bn.forward(&x, true);
         }
-        bn.gamma.value = Tensor::from_vec(vec![3], vec![1.3, 0.8, -0.4]);
-        bn.beta.value = Tensor::from_vec(vec![3], vec![0.2, -0.1, 0.05]);
+        bn.gamma.value = Tensor::from_vec(vec![3], vec![1.3, 0.8, -0.4]).into();
+        bn.beta.value = Tensor::from_vec(vec![3], vec![0.2, -0.1, 0.05]).into();
         let x = Tensor::normal(vec![2, 3, 2, 2], 0.7, 1.1, &mut rng);
         let expected = bn.clone().forward(&x, false);
 
@@ -308,8 +308,8 @@ mod tests {
         let x = Tensor::uniform(vec![2, 2, 3, 3], -1.0, 1.0, &mut rng);
         let mut bn = BatchNorm2d::new(2);
         // Non-trivial gamma/beta.
-        bn.gamma.value = Tensor::from_vec(vec![2], vec![1.5, 0.7]);
-        bn.beta.value = Tensor::from_vec(vec![2], vec![0.1, -0.2]);
+        bn.gamma.value = Tensor::from_vec(vec![2], vec![1.5, 0.7]).into();
+        bn.beta.value = Tensor::from_vec(vec![2], vec![0.1, -0.2]).into();
         // Weighted loss so the gradient is not uniform.
         let weights: Vec<f32> = (0..x.len()).map(|i| ((i % 7) as f32) * 0.3 - 1.0).collect();
         let y = bn.forward(&x, true);

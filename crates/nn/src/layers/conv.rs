@@ -339,8 +339,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(1, 1, 3, 3, 3, 1, 0, &mut rng);
         // Set kernel to all ones, bias to 0.5: output = sum of image + 0.5.
-        conv.weight.value = Tensor::ones(vec![1, 9]);
-        conv.bias.value = Tensor::from_vec(vec![1], vec![0.5]);
+        conv.weight.value = Tensor::ones(vec![1, 9]).into();
+        conv.bias.value = Tensor::from_vec(vec![1], vec![0.5]).into();
         let x = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
         let y = conv.forward(&x, true);
         assert_eq!(y.data(), &[45.5]);

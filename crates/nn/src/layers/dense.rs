@@ -218,8 +218,8 @@ mod tests {
     fn forward_identity_weight() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut dense = Dense::new(2, 2, &mut rng);
-        dense.weight.value = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]);
-        dense.bias.value = Tensor::from_vec(vec![2], vec![1., 2.]);
+        dense.weight.value = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]).into();
+        dense.bias.value = Tensor::from_vec(vec![2], vec![1., 2.]).into();
         let x = Tensor::from_vec(vec![1, 2], vec![3., 4.]);
         let y = dense.forward(&x, true);
         assert_eq!(y.data(), &[4., 6.]);

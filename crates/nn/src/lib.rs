@@ -30,7 +30,10 @@
 //! * [`workspace`] — the reusable inference arena behind the
 //!   zero-allocation `forward_into` layer family (one per thread, reused
 //!   across members and batches),
-//! * [`serialize`] — a versioned binary parameter codec.
+//! * [`serialize`] — a versioned binary parameter codec,
+//! * [`store`] — the process-wide model store: digest-verified weight
+//!   arenas shared read-only across tenants (owned↔shared `ParamSlot`
+//!   split, one digest verification per blob).
 //!
 //! ## Example
 //!
@@ -65,13 +68,15 @@ pub mod optim;
 pub mod pool;
 pub mod protect;
 pub mod serialize;
+pub mod store;
 pub mod train;
 pub mod workspace;
 pub mod zoo;
 
-pub use layer::{Layer, LayerCost, ParamSlot};
+pub use layer::{GradSlot, Layer, LayerCost, ParamSlot, ParamValue};
 pub use network::Network;
 pub use pool::WorkerPool;
 pub use protect::{CheckPlan, ProtectionLevel};
+pub use store::{model_store, ModelStore, StoredModel};
 pub use train::{TrainConfig, TrainReport, Trainer, INFER_BATCH};
 pub use workspace::{ActBuf, Workspace};

@@ -426,7 +426,7 @@ impl Network {
     /// Snapshots all parameter values in visiting order.
     pub fn state_dict(&mut self) -> Vec<Tensor> {
         let mut out = Vec::new();
-        self.visit_slots(&mut |slot| out.push(slot.value.clone()));
+        self.visit_slots(&mut |slot| out.push(slot.value.snapshot()));
         out
     }
 
@@ -440,7 +440,7 @@ impl Network {
         self.visit_slots(&mut |slot| {
             assert!(i < state.len(), "state dict too short");
             assert_eq!(slot.value.shape(), state[i].shape(), "state tensor {i} shape mismatch");
-            slot.value = state[i].clone();
+            slot.value = state[i].clone().into();
             i += 1;
         });
         assert_eq!(i, state.len(), "state dict has {} extra tensors", state.len() - i);

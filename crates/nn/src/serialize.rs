@@ -23,13 +23,21 @@
 //! corrupted network.
 
 use crate::network::Network;
-use bytes::{Buf, BufMut, BytesMut};
-use pgmr_tensor::Tensor;
+use bytes::Buf;
+use pgmr_tensor::{align_offset, ArenaView, Shape, Tensor, WeightArena};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"PGMR";
 const VERSION: u16 = 3;
+/// Fixed header size: magic (4) + version (2) + body_len (4) + checksum (8).
+const HEADER_LEN: usize = 18;
+
+/// Obs counter incremented on every successful FNV-1a body verification —
+/// the observable behind the store's digest-once-per-blob invariant (the
+/// `model_store` bench divides it by tenant count).
+pub const DIGEST_VERIFY_COUNTER: &str = "store.digest_verify_total";
 
 /// FNV-1a 64-bit hash. Not cryptographic, but every single-byte change —
 /// in particular any single bit flip — provably changes the digest: each
@@ -93,48 +101,59 @@ impl Error for DecodeParamsError {}
 /// must round-trip too: inference depends on them even though they are not
 /// trainable.
 pub fn encode_params(net: &mut Network) -> Vec<u8> {
-    let state = net.state_dict();
-    let mut body = BytesMut::new();
-    let arch = net.arch_id().as_bytes();
-    body.put_u16_le(arch.len() as u16);
-    body.put_slice(arch);
-    body.put_u32_le(state.len() as u32);
-    for t in &state {
-        let dims = t.shape().dims();
-        body.put_u8(dims.len() as u8);
+    // Census pass: exact body size from the layer parameter inventory, so
+    // the blob is written in one pre-reserved allocation — no intermediate
+    // tensor clones or `Vec<Vec<f32>>` staging.
+    let arch = net.arch_id().to_string();
+    let mut tensor_count = 0u32;
+    let mut buffer_count = 0u32;
+    let mut body_len = 2 + arch.len() + 4; // arch header + tensor count
+    net.visit_slots(&mut |slot| {
+        tensor_count += 1;
+        body_len += 1 + 4 * slot.value.shape().rank() + 4 * slot.value.len();
+    });
+    body_len += 4; // buffer count
+    net.visit_buffers(&mut |b| {
+        buffer_count += 1;
+        body_len += 4 + 4 * b.len();
+    });
+
+    let mut buf = Vec::with_capacity(HEADER_LEN + body_len);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+    buf.extend_from_slice(&0u64.to_le_bytes()); // checksum, patched below
+
+    buf.extend_from_slice(&(arch.len() as u16).to_le_bytes());
+    buf.extend_from_slice(arch.as_bytes());
+    buf.extend_from_slice(&tensor_count.to_le_bytes());
+    net.visit_slots(&mut |slot| {
+        let dims = slot.value.shape().dims();
+        buf.push(dims.len() as u8);
         for &d in dims {
-            body.put_u32_le(d as u32);
+            buf.extend_from_slice(&(d as u32).to_le_bytes());
         }
-        for &v in t.data() {
-            body.put_f32_le(v);
+        for &v in slot.value.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
         }
-    }
-    let mut buffers: Vec<Vec<f32>> = Vec::new();
-    net.visit_buffers(&mut |b| buffers.push(b.clone()));
-    body.put_u32_le(buffers.len() as u32);
-    for b in &buffers {
-        body.put_u32_le(b.len() as u32);
-        for &v in b {
-            body.put_f32_le(v);
+    });
+    buf.extend_from_slice(&buffer_count.to_le_bytes());
+    net.visit_buffers(&mut |b| {
+        buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        for &v in b.iter() {
+            buf.extend_from_slice(&v.to_le_bytes());
         }
-    }
-    let mut buf = BytesMut::with_capacity(body.len() + 18);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(body.len() as u32);
-    buf.put_u64_le(fnv1a(&body));
-    buf.put_slice(&body);
-    buf.to_vec()
+    });
+    debug_assert_eq!(buf.len(), HEADER_LEN + body_len, "census disagreed with the stream");
+    let checksum = fnv1a(&buf[HEADER_LEN..]);
+    buf[10..HEADER_LEN].copy_from_slice(&checksum.to_le_bytes());
+    buf
 }
 
-/// Restores parameters into `net` from a blob produced by
-/// [`encode_params`].
-///
-/// # Errors
-///
-/// Returns a [`DecodeParamsError`] when the blob is malformed, from a
-/// different architecture, or shape-incompatible.
-pub fn decode_params(net: &mut Network, blob: &[u8]) -> Result<(), DecodeParamsError> {
+/// Validates the blob header, verifies the FNV-1a body digest (counted
+/// into [`DIGEST_VERIFY_COUNTER`] — this is the only place a blob's digest
+/// is ever checked), and returns `(arch_id, rest-of-body)`.
+fn verify_header(blob: &[u8]) -> Result<(String, &[u8]), DecodeParamsError> {
     let mut buf = blob;
     if buf.remaining() < 4 || &buf[..4] != MAGIC {
         return Err(DecodeParamsError::BadMagic);
@@ -158,6 +177,7 @@ pub fn decode_params(net: &mut Network, blob: &[u8]) -> Result<(), DecodeParamsE
     if fnv1a(&buf[..body_len]) != checksum {
         return Err(DecodeParamsError::ChecksumMismatch);
     }
+    pgmr_obs::global().counter(DIGEST_VERIFY_COUNTER).inc();
     if buf.remaining() < 2 {
         return Err(DecodeParamsError::Truncated);
     }
@@ -167,6 +187,146 @@ pub fn decode_params(net: &mut Network, blob: &[u8]) -> Result<(), DecodeParamsE
     }
     let arch = String::from_utf8_lossy(&buf[..arch_len]).into_owned();
     buf.advance(arch_len);
+    Ok((arch, buf))
+}
+
+/// A blob decoded straight into a shared read-only [`WeightArena`]: one
+/// 64-byte-aligned allocation holding every parameter tensor, plus the
+/// owned per-tenant state buffers (batch-norm running statistics, which
+/// each tenant copies — they are mutable inference state).
+///
+/// This is the zero-copy counterpart of [`decode_params`]: the digest is
+/// verified once here, and any number of tenants then attach via
+/// [`crate::store::StoredModel`] without re-reading or re-verifying the
+/// blob.
+#[derive(Debug, Clone)]
+pub struct ArenaParams {
+    /// Architecture the blob was written for.
+    pub arch_id: String,
+    /// One shaped view per parameter tensor, in `visit_slots` order.
+    pub views: Vec<ArenaView>,
+    /// Non-trainable state buffers, in `visit_buffers` order.
+    pub buffers: Vec<Vec<f32>>,
+}
+
+impl ArenaParams {
+    /// Resident bytes of the shared arena allocation.
+    pub fn resident_bytes(&self) -> usize {
+        self.views.first().map(|v| v.arena().resident_bytes()).unwrap_or(0)
+    }
+}
+
+/// Decodes a blob produced by [`encode_params`] into a shared arena: one
+/// aligned allocation, every tensor a read-only view into it. The FNV-1a
+/// digest is verified exactly once, before any parameter is parsed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeParamsError`] when the blob is malformed or corrupt.
+pub fn decode_params_arena(blob: &[u8]) -> Result<ArenaParams, DecodeParamsError> {
+    let (arch_id, body) = verify_header(blob)?;
+
+    // Pass 1: walk the tensor records to size the arena (offsets rounded
+    // up to cache-line boundaries) without touching the weight bytes.
+    let mut buf = body;
+    if buf.remaining() < 4 {
+        return Err(DecodeParamsError::Truncated);
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut shapes: Vec<(usize, Vec<usize>)> = Vec::with_capacity(count); // (offset, dims)
+    let mut cursor = 0usize;
+    for _ in 0..count {
+        if buf.remaining() < 1 {
+            return Err(DecodeParamsError::Truncated);
+        }
+        let rank = buf.get_u8() as usize;
+        if buf.remaining() < 4 * rank {
+            return Err(DecodeParamsError::Truncated);
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(buf.get_u32_le() as usize);
+        }
+        if dims.contains(&0) {
+            return Err(DecodeParamsError::ShapeMismatch);
+        }
+        let len: usize = dims.iter().product();
+        if buf.remaining() < len * 4 {
+            return Err(DecodeParamsError::Truncated);
+        }
+        buf.advance(len * 4);
+        let offset = align_offset(cursor);
+        cursor = offset + len;
+        shapes.push((offset, dims));
+    }
+
+    // Pass 2: one aligned allocation, then copy each tensor's little-endian
+    // payload into its slot.
+    let mut arena = WeightArena::new_zeroed(cursor);
+    {
+        let dst = arena.data_mut();
+        let mut buf = body;
+        buf.advance(4); // tensor count, already read
+        for (offset, dims) in &shapes {
+            let len: usize = dims.iter().product();
+            buf.advance(1 + 4 * dims.len()); // rank + dims, already read
+            for (d, chunk) in dst[*offset..*offset + len].iter_mut().zip(buf.chunks_exact(4)) {
+                *d = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            buf.advance(len * 4);
+        }
+        // `buf` now rests at the buffer section; re-parsed below.
+    }
+    let arena = Arc::new(arena);
+    let views = shapes
+        .into_iter()
+        .map(|(offset, dims)| ArenaView::new(Arc::clone(&arena), offset, Shape::new(dims)))
+        .collect();
+
+    // Buffers (batch-norm running statistics) stay owned: tenants mutate
+    // them during calibration, so they are copied per attach.
+    let mut buf = body;
+    buf.advance(4);
+    for _ in 0..count {
+        let rank = buf.get_u8() as usize;
+        let mut len = 1usize;
+        for _ in 0..rank {
+            len *= buf.get_u32_le() as usize;
+        }
+        buf.advance(len * 4);
+    }
+    if buf.remaining() < 4 {
+        return Err(DecodeParamsError::Truncated);
+    }
+    let buffer_count = buf.get_u32_le() as usize;
+    let mut buffers = Vec::with_capacity(buffer_count);
+    for _ in 0..buffer_count {
+        if buf.remaining() < 4 {
+            return Err(DecodeParamsError::Truncated);
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len * 4 {
+            return Err(DecodeParamsError::Truncated);
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(buf.get_f32_le());
+        }
+        buffers.push(data);
+    }
+
+    Ok(ArenaParams { arch_id, views, buffers })
+}
+
+/// Restores parameters into `net` from a blob produced by
+/// [`encode_params`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeParamsError`] when the blob is malformed, from a
+/// different architecture, or shape-incompatible.
+pub fn decode_params(net: &mut Network, blob: &[u8]) -> Result<(), DecodeParamsError> {
+    let (arch, mut buf) = verify_header(blob)?;
     if arch != net.arch_id() {
         return Err(DecodeParamsError::ArchMismatch {
             expected: arch,

@@ -31,7 +31,7 @@ fn check_spec(spec: ArchSpec, tolerance: f32) {
     let (_, grad) = softmax_cross_entropy(&logits, &labels);
     net.backward(&grad);
     let mut grads: Vec<Tensor> = Vec::new();
-    net.visit_slots(&mut |s| grads.push(s.grad.clone()));
+    net.visit_slots(&mut |s| grads.push(s.grad.snapshot()));
     let state = net.state_dict();
 
     let eps = 1e-2;

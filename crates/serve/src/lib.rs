@@ -302,7 +302,7 @@ impl ServeHandle {
             receiver,
             replicas,
             pool: WorkerPool::new(workers),
-            staged: system.staged_engine().cloned(),
+            staged: system.staged_engine_shared(),
             thresholds: system.thresholds(),
             monitor,
             shared: Arc::clone(&shared),
@@ -415,7 +415,7 @@ struct BatchEngine {
     /// because forward passes are deterministic.
     replicas: Vec<Vec<Member>>,
     pool: WorkerPool,
-    staged: Option<StagedEngine>,
+    staged: Option<Arc<StagedEngine>>,
     thresholds: Thresholds,
     monitor: ReliabilityMonitor,
     shared: Arc<Shared>,
@@ -472,7 +472,7 @@ impl BatchEngine {
         // Shard the batch across the replicas; each shard runs its
         // requests sequentially on its own member set, so concatenating
         // shard results in order reproduces the sequential fold exactly.
-        let staged = self.staged.as_ref();
+        let staged = self.staged.as_deref();
         let thresholds = self.thresholds;
         let jobs: Vec<_> = shard_ranges(batch.len(), self.replicas.len())
             .into_iter()

@@ -29,6 +29,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod arena;
 pub mod checksum;
 pub mod conv;
 pub mod gemm;
@@ -36,6 +37,7 @@ pub mod ops;
 pub mod shape;
 pub mod tensor;
 
+pub use arena::{align_offset, ArenaView, WeightArena, ARENA_ALIGN, ARENA_ALIGN_ELEMS};
 pub use checksum::{checked_gemm, ChecksumFault, ChecksumKind, GemmChecksums};
 pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
 pub use gemm::{
